@@ -1,0 +1,84 @@
+"""Commit-latency scaling with fan-out -- extending the paper's analysis.
+
+The paper measures one, two, and three nodes and models the parallel
+prepare with half-datagram sends.  The protocol has no three-node limit;
+this study runs the same write benchmark across 1-6 nodes and checks the
+model's prediction: latency grows *sub-linearly* in fan-out because the
+branches overlap -- each extra child costs roughly one datagram (two
+half-sends) plus per-child bookkeeping, not a full extra commit round.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig
+from repro.servers.int_array import IntegerArrayServer
+
+NODE_COUNTS = (1, 2, 3, 4, 6)
+
+
+def run_fanout_write(node_count: int, iterations: int = 8) -> float:
+    """One write on every node per transaction; ms per transaction."""
+    cluster = TabsCluster(TabsConfig())
+    for index in range(node_count):
+        name = f"n{index}"
+        cluster.add_node(name)
+        cluster.add_server(name, IntegerArrayServer.factory(f"arr{index}"))
+    cluster.start()
+    app = cluster.application("n0", measured=True)
+    refs = [cluster.run_on("n0", app.lookup_one(f"arr{index}"))
+            for index in range(node_count)]
+
+    def one(iteration):
+        tid = yield from app.begin_transaction()
+        for ref in refs:
+            yield from app.call(ref, "set_cell",
+                                {"cell": 1, "value": iteration}, tid)
+        committed = yield from app.end_transaction(tid)
+        assert committed
+
+    cluster.run_on("n0", one(0))
+    started = cluster.engine.now
+    for iteration in range(1, iterations + 1):
+        cluster.run_on("n0", one(iteration))
+    return (cluster.engine.now - started) / iterations
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return {count: run_fanout_write(count) for count in NODE_COUNTS}
+
+
+def test_render_scaling(latencies, benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    lines = ["Write-commit latency vs fan-out (ms per transaction)",
+             "=" * 52]
+    previous = None
+    for count, latency in latencies.items():
+        delta = "" if previous is None else f"  (+{latency - previous:.0f})"
+        lines.append(f"  {count} node(s): {latency:8.1f}{delta}")
+        previous = latency
+    write_result("scaling.txt", "\n".join(lines))
+
+
+def test_fanout_scales_sublinearly(latencies):
+    """Six participants cost far less than a serial protocol would: if
+    every child repeated the first child's full remote round trip, six
+    nodes would cost latencies[1] + 5 x (latencies[2] - latencies[1])."""
+    serial_estimate = latencies[1] + 5 * (latencies[2] - latencies[1])
+    assert latencies[6] < serial_estimate / 2
+    assert latencies[6] < 2 * latencies[2]
+
+
+def test_marginal_child_cost_shrinks(latencies):
+    """The 2nd node pays for the whole remote round trip; later nodes pay
+    only the serialized halves and bookkeeping."""
+    first_child = latencies[2] - latencies[1]
+    later_child = (latencies[6] - latencies[3]) / 3
+    assert later_child < first_child / 2
+
+
+def test_each_extra_child_still_costs_something(latencies):
+    values = [latencies[count] for count in NODE_COUNTS]
+    assert values == sorted(values)

@@ -1,0 +1,108 @@
+"""The Conclusions' end-to-end latency claims (Section 7).
+
+"Our analysis indicates that about two seconds are required for a local
+transaction that invokes five operations, each of which updates two pages
+that are not in memory.  The same transaction would require about one-half
+second if the data were in main memory.  If the operations were performed
+on one or more remote nodes, these transactions would take only about one
+second longer."
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig
+from repro.kernel.disk import PAGE_SIZE
+from repro.perf.benchmarks import BENCH_VM_CAPACITY_PAGES, CELLS_PER_PAGE
+from repro.servers.int_array import IntegerArrayServer
+
+
+def run_five_op_transaction(remote: bool, paging: bool) -> float:
+    """Five operations, each updating two pages; returns ms per txn."""
+    cluster = TabsCluster(TabsConfig().with_(
+        vm_capacity_pages=BENCH_VM_CAPACITY_PAGES))
+    cluster.add_node("local")
+    cluster.add_server("local", IntegerArrayServer.factory("array_local"))
+    if remote:
+        cluster.add_node("far")
+        cluster.add_server("far", IntegerArrayServer.factory("array_far"))
+    cluster.start()
+    app = cluster.application("local", measured=True)
+    target = "array_far" if remote else "array_local"
+    ref = cluster.run_on("local", app.lookup_one(target))
+
+    if paging:
+        # Steady state: a full cache of dirty pages, so every fault both
+        # reads a page in and pushes one out (as on a long-running system).
+        from repro.kernel.vm import ObjectID
+        node = cluster.node("far" if remote else "local").node
+        segment = f"{node.name}:{target}"
+
+        def prefill():
+            for page in range(node.vm.capacity_pages):
+                yield from node.vm.write_object(
+                    ObjectID(segment, page * PAGE_SIZE, 4), 0)
+
+        cluster.run_on(node.name, prefill())
+
+    def next_cell() -> int:
+        # "pages that are not in memory": random pages across the whole
+        # 5000-page array miss the ~700-frame cache 86% of the time.
+        page = cluster.ctx.random.randrange(5000)
+        return page * CELLS_PER_PAGE + 1
+
+    def one_transaction(iteration: int):
+        tid = yield from app.begin_transaction()
+        for op in range(5):
+            # "each of which updates two pages": one operation per page,
+            # two pages per logical operation.
+            for _ in range(2):
+                cell = next_cell() if paging else (op * 2 + 1)
+                yield from app.call(ref, "set_cell",
+                                    {"cell": cell, "value": iteration}, tid)
+        committed = yield from app.end_transaction(tid)
+        assert committed
+
+    iterations = 8
+    cluster.run_on("local", one_transaction(0))  # warm-up
+    started = cluster.engine.now
+    for iteration in range(1, iterations + 1):
+        cluster.run_on("local", one_transaction(iteration))
+    return (cluster.engine.now - started) / iterations
+
+
+@pytest.fixture(scope="module")
+def timings():
+    return {
+        "local_paging": run_five_op_transaction(remote=False, paging=True),
+        "local_resident": run_five_op_transaction(remote=False,
+                                                  paging=False),
+        "remote_paging": run_five_op_transaction(remote=True, paging=True),
+        "remote_resident": run_five_op_transaction(remote=True,
+                                                   paging=False),
+    }
+
+
+def test_render_section_7(timings, benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    lines = ["Section 7 complex-transaction claims (ms per transaction)",
+             "=" * 57]
+    paper = {"local_paging": "~2000", "local_resident": "~500",
+             "remote_paging": "~3000", "remote_resident": "~1500"}
+    for key, value in timings.items():
+        lines.append(f"{key:18s} {value:8.0f}   (paper: {paper[key]})")
+    write_result("section_7_claims.txt", "\n".join(lines))
+
+
+def test_local_paging_transaction_takes_about_two_seconds(timings):
+    assert timings["local_paging"] == pytest.approx(2000, rel=0.5)
+
+
+def test_resident_transaction_takes_about_half_a_second(timings):
+    assert timings["local_resident"] == pytest.approx(500, rel=0.5)
+
+
+def test_remote_adds_about_one_second(timings):
+    extra = timings["remote_resident"] - timings["local_resident"]
+    assert extra == pytest.approx(1000, rel=0.6)

@@ -1,0 +1,34 @@
+"""Table 5-1: primitive operation times, measured on the substrate.
+
+The paper measured nine primitives on a Perq T2 by repeatedly calling the
+appropriate Accent and TABS functions; we do the same against the simulated
+substrate.  The reproduction target is exact agreement with the configured
+profile -- any deviation means some path double-charges or forgets a
+primitive.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.kernel.costs import MEASURED_1985, Primitive
+from repro.perf.primitives import measure_primitives
+from repro.perf.report import render_table_5_1
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_primitives(repetitions=20)
+
+
+def test_render_table_5_1(measured, benchmark):
+    benchmark.pedantic(lambda: measure_primitives(repetitions=2),
+                       iterations=1, rounds=1)
+    write_result("table_5_1.txt", render_table_5_1(measured, MEASURED_1985))
+
+
+@pytest.mark.parametrize("primitive", list(Primitive))
+def test_primitive_matches_paper(measured, primitive):
+    paper = MEASURED_1985.time_of(primitive)
+    assert measured[primitive] == pytest.approx(paper, rel=0.02), (
+        f"{primitive}: measured {measured[primitive]:.2f} ms vs paper "
+        f"{paper} ms")

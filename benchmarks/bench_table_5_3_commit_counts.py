@@ -1,0 +1,76 @@
+"""Table 5-3: commit primitive counts per commit protocol.
+
+One caveat separates measurement from the paper's table: the paper counted
+primitives on the *longest estimated execution path* through the commit
+protocol (branches to different children run in parallel and only one is
+counted -- hence the fractional "2.5 datagrams"), while our instrumentation
+counts *every* primitive executed.  The single-node rows, where the path is
+the whole protocol, must match exactly; multi-node rows are asserted
+against the total implied by our protocol, and the elapsed-time agreement
+in Table 5-4 is the fidelity check for the parallel part.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.kernel.costs import Primitive
+from repro.perf.report import render_table_5_3
+
+P = Primitive
+
+
+def result_for(measured_results, key):
+    return next(r for r in measured_results if r.spec.key == key)
+
+
+def test_render_table_5_3(measured_results, benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    write_result("table_5_3.txt", render_table_5_3(measured_results))
+
+
+def test_one_node_read_only_commit_matches_paper(measured_results):
+    counts = result_for(measured_results, "r1").commit_counts
+    assert counts.get(P.SMALL_MESSAGE, 0) == 5
+    assert counts.get(P.DATAGRAM, 0) == 0
+    assert counts.get(P.STABLE_STORAGE_WRITE, 0) == 0
+
+
+def test_one_node_write_commit_matches_paper(measured_results):
+    counts = result_for(measured_results, "w1").commit_counts
+    assert counts.get(P.SMALL_MESSAGE, 0) == 8
+    assert counts.get(P.LARGE_MESSAGE, 0) == 1
+    assert counts.get(P.STABLE_STORAGE_WRITE, 0) == 1
+
+
+def test_read_only_commit_never_forces_the_log(measured_results):
+    for key in ("r1", "r5", "r1r1", "r1r5", "r1r1r1"):
+        counts = result_for(measured_results, key).commit_counts
+        assert counts.get(P.STABLE_STORAGE_WRITE, 0) == 0, key
+
+
+def test_two_node_read_only_uses_two_datagrams(measured_results):
+    counts = result_for(measured_results, "r1r1").commit_counts
+    assert counts.get(P.DATAGRAM, 0) == 2  # prepare out, vote back
+    assert counts.get(P.POINTER_MESSAGE, 0) == 1  # the spanning-info reply
+
+
+def test_two_node_write_uses_four_datagrams(measured_results):
+    counts = result_for(measured_results, "w1w1").commit_counts
+    assert counts.get(P.DATAGRAM, 0) == 4  # prepare/vote/commit/ack
+
+
+def test_three_node_doubles_the_fanout(measured_results):
+    read = result_for(measured_results, "r1r1r1").commit_counts
+    write = result_for(measured_results, "w1w1w1").commit_counts
+    assert read.get(P.DATAGRAM, 0) == 4    # 2 children x (prepare + vote)
+    assert write.get(P.DATAGRAM, 0) == 8   # 2 children x 4
+
+def test_update_commit_forces_once_per_updating_node(measured_results):
+    """Presumed abort: the coordinator forces its commit record; every
+    updating subordinate forces PREPARED and COMMITTED records."""
+    assert result_for(measured_results, "w1").commit_counts[
+        P.STABLE_STORAGE_WRITE] == 1
+    assert result_for(measured_results, "w1w1").commit_counts[
+        P.STABLE_STORAGE_WRITE] == 3
+    assert result_for(measured_results, "w1w1w1").commit_counts[
+        P.STABLE_STORAGE_WRITE] == 5

@@ -1,0 +1,106 @@
+"""Table 5-4: benchmark times under the three configurations.
+
+Columns, as in the paper:
+
+- **System Time Predicted by Primitives**: counts x Table 5-1 times.
+- **Measured Elapsed Time**: simulated no-load latency, separate TABS
+  processes, measured primitive times.
+- **Improved TABS Architecture**: TM/RM merged into the kernel.
+- **New Primitive Times**: the merged architecture on Table 5-5's numbers.
+
+Absolute agreement is strongest for the single-node rows (within a few
+percent); the multi-node rows agree in shape (who is slower, by what
+factor) -- see EXPERIMENTS.md for the full accounting.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.perf.model import PAPER_TABLE_5_4
+from repro.perf.report import render_table_5_4
+
+#: maximum relative deviation from the paper's measured elapsed time
+ELAPSED_TOLERANCE = {
+    # single-node rows: tight
+    "r1": 0.05, "r5": 0.05, "w1": 0.05, "w5": 0.10,
+    "r1_seq": 0.05, "r1_rand": 0.05,
+    # paging-write and multi-node rows: the protocol reconstruction
+    # differs in detail from TABS's (documented in EXPERIMENTS.md)
+    "w1_seq": 0.25, "r1r1": 0.25, "r1r5": 0.15, "r1r1_seq": 0.25,
+    "w1w1": 0.25, "w1w1_seq": 0.25, "r1r1r1": 0.30, "w1w1w1": 0.30,
+}
+
+
+def row_for(rows, key):
+    return next(r for r in rows if r.spec.key == key)
+
+
+def test_render_table_5_4(table_5_4_rows, benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    write_result("table_5_4.txt", render_table_5_4(table_5_4_rows))
+
+
+@pytest.mark.parametrize("key,tolerance", sorted(ELAPSED_TOLERANCE.items()))
+def test_elapsed_time_tracks_paper(table_5_4_rows, key, tolerance):
+    row = row_for(table_5_4_rows, key)
+    paper = PAPER_TABLE_5_4[key].elapsed
+    assert row.elapsed_ms == pytest.approx(paper, rel=tolerance), (
+        f"{key}: {row.elapsed_ms:.0f} ms vs paper {paper} ms")
+
+
+def test_predicted_plus_process_time_approximates_elapsed(table_5_4_rows):
+    """The paper's own single-node validation: Predicted System Time plus
+    Measured TABS Process Time approximately yields Measured Elapsed."""
+    for key in ("r1", "r5", "w1", "r1_seq"):
+        row = row_for(table_5_4_rows, key)
+        reconstructed = row.predicted_ms + row.tabs_process_ms
+        assert reconstructed == pytest.approx(row.elapsed_ms, rel=0.20), key
+
+
+def test_writes_cost_more_than_reads(table_5_4_rows):
+    assert row_for(table_5_4_rows, "w1").elapsed_ms > \
+        row_for(table_5_4_rows, "r1").elapsed_ms
+    assert row_for(table_5_4_rows, "w1w1").elapsed_ms > \
+        row_for(table_5_4_rows, "r1r1").elapsed_ms
+
+
+def test_remote_operations_cost_more_than_local(table_5_4_rows):
+    assert row_for(table_5_4_rows, "r1r1").elapsed_ms > \
+        2 * row_for(table_5_4_rows, "r1").elapsed_ms
+    assert row_for(table_5_4_rows, "w1w1").elapsed_ms > \
+        2 * row_for(table_5_4_rows, "w1").elapsed_ms
+
+
+def test_paging_adds_io_latency(table_5_4_rows):
+    assert row_for(table_5_4_rows, "r1_seq").elapsed_ms > \
+        row_for(table_5_4_rows, "r1").elapsed_ms
+    assert row_for(table_5_4_rows, "r1_rand").elapsed_ms > \
+        row_for(table_5_4_rows, "r1_seq").elapsed_ms
+
+
+def test_improved_architecture_is_faster(table_5_4_rows):
+    for row in table_5_4_rows:
+        assert row.improved_ms <= row.elapsed_ms + 1e-6, row.spec.key
+
+
+def test_new_primitives_give_the_biggest_win(table_5_4_rows):
+    for row in table_5_4_rows:
+        assert row.new_primitives_ms < row.improved_ms, row.spec.key
+    # The paper projects 110 -> 67 for the simplest read (1.6x) and
+    # 989 -> 442 for the 2-node write (2.2x): check comparable factors.
+    r1 = row_for(table_5_4_rows, "r1")
+    assert 1.3 < r1.elapsed_ms / r1.new_primitives_ms < 2.3
+    w1w1 = row_for(table_5_4_rows, "w1w1")
+    assert 1.6 < w1w1.elapsed_ms / w1w1.new_primitives_ms < 3.0
+
+
+def test_remote_write_gains_most_from_improved_architecture(table_5_4_rows):
+    """'Remote write transactions show the biggest performance increase'
+    from the architectural change (commit processing leaves the critical
+    path)."""
+    def gain(key):
+        row = row_for(table_5_4_rows, key)
+        return (row.elapsed_ms - row.improved_ms) / row.elapsed_ms
+
+    assert gain("w1w1") > gain("r1r1")
+    assert gain("w1w1") > gain("w1")

@@ -1,0 +1,56 @@
+"""Throughput versus concurrency -- the Section 7 future-work study.
+
+Conflict-free applications scale; applications serialized by a shared
+write lock do not.  The paper's no-load latency gives a first-order
+prediction for both regimes: ~1000/latency commits per second per
+conflict-free application, and ~1000/latency total for fully serialized
+writers.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.perf.throughput import run_throughput
+
+CONCURRENCIES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        workload: [run_throughput(n, workload, duration_ms=30_000.0)
+                   for n in CONCURRENCIES]
+        for workload in ("disjoint", "shared")}
+
+
+def test_render_throughput(sweeps, benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    lines = ["Throughput vs concurrency (committed txns/second)", "=" * 50,
+             f"{'concurrency':>12s} {'disjoint':>10s} {'shared':>10s}"]
+    for index, concurrency in enumerate(CONCURRENCIES):
+        lines.append(
+            f"{concurrency:>12d} "
+            f"{sweeps['disjoint'][index].commits_per_second:>10.2f} "
+            f"{sweeps['shared'][index].commits_per_second:>10.2f}")
+    write_result("throughput.txt", "\n".join(lines))
+
+
+def test_disjoint_workload_scales(sweeps):
+    rates = [r.commits_per_second for r in sweeps["disjoint"]]
+    assert rates[-1] > 5 * rates[0]  # 8 apps ≈ 8x one app (lock-ideal)
+
+
+def test_shared_workload_saturates(sweeps):
+    rates = [r.commits_per_second for r in sweeps["shared"]]
+    # Serialized by the single write lock: more apps, same total rate.
+    assert rates[-1] < 1.5 * rates[0]
+
+
+def test_single_app_rate_matches_latency_prediction(sweeps):
+    """1000 / (w1 elapsed ≈ 244 ms) ≈ 4.1 commits/second."""
+    rate = sweeps["disjoint"][0].commits_per_second
+    assert rate == pytest.approx(1000.0 / 244.0, rel=0.15)
+
+
+def test_no_aborts_without_conflicts(sweeps):
+    assert all(r.aborted == 0 for r in sweeps["disjoint"])

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_table_*`` module regenerates one table of the paper's
+evaluation.  The rendered paper-versus-reproduction tables are written to
+``benchmarks/results/`` and echoed to stdout (run with ``-s`` to see them
+live); EXPERIMENTS.md summarizes the outcomes.
+
+The expensive work (running all fourteen benchmarks under three
+configurations) is done once per session and shared.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.benchmarks import BENCHMARKS, run_benchmark
+from repro.core.config import TabsConfig
+from repro.perf.projections import run_table_5_4
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def measured_results():
+    """All fourteen benchmarks under the measured-1985 configuration."""
+    return [run_benchmark(spec, TabsConfig.measured(), iterations=10)
+            for spec in BENCHMARKS]
+
+
+@pytest.fixture(scope="session")
+def table_5_4_rows():
+    """All fourteen benchmarks under all three configurations."""
+    return run_table_5_4(iterations=10)

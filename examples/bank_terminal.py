@@ -1,0 +1,112 @@
+"""The Figure 4-1 scenario: a trivial bank on the I/O server.
+
+"This is an actual snapshot of the current IO server running a trivial
+bank implementation."  The bank keeps balances in the integer array server
+and narrates each action through the I/O server, whose display model shows
+output grey while a transaction is in progress (rendered here with a ``~``
+prefix), black once it commits, and struck through if it aborts -- even
+when the abort is a node crash, after which the server restores the
+screen.
+
+Run:  python examples/bank_terminal.py
+"""
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.int_array import IntegerArrayServer
+from repro.servers.io_server import IOServer
+from repro.sim import Timeout
+
+CHECKING = 1
+
+
+def main() -> None:
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("teller")
+    cluster.add_server("teller", IntegerArrayServer.factory("accounts"))
+    cluster.add_server("teller", IOServer.factory("display"))
+    cluster.start()
+    app = cluster.application("teller")
+
+    def setup(tid):
+        screen = yield from app.lookup_one("display")
+        result = yield from app.call(screen, "obtain_io_area", {}, tid)
+        return result["area"]
+
+    area = cluster.run_transaction("teller", setup)
+
+    def show_screen(label):
+        def render(tid):
+            screen = yield from app.lookup_one("display")
+            result = yield from app.call(screen, "render_area",
+                                         {"area": area}, tid)
+            return result["lines"]
+
+        print(f"\n--- screen: {label} ---")
+        for line in cluster.run_transaction("teller", render):
+            print(f"| {line}")
+
+    # Area one: a successful deposit (displayed black after commit).
+    def deposit(tid):
+        accounts = yield from app.lookup_one("accounts")
+        screen = yield from app.lookup_one("display")
+        balance = yield from app.call(accounts, "get_cell",
+                                      {"cell": CHECKING}, tid)
+        yield from app.call(accounts, "set_cell",
+                            {"cell": CHECKING,
+                             "value": balance["value"] + 35}, tid)
+        yield from app.call(screen, "write_to_area",
+                            {"area": area,
+                             "data": "deposited $35 to checking"}, tid)
+
+    cluster.run_transaction("teller", deposit)
+    show_screen("after the committed deposit (black)")
+
+    # Area two: a withdrawal interrupted by a node failure.  The output is
+    # on screen in grey while in progress...
+    def doomed_withdrawal():
+        tid = yield from app.begin_transaction()
+        accounts = yield from app.lookup_one("accounts")
+        screen = yield from app.lookup_one("display")
+        yield from app.call(screen, "write_to_area",
+                            {"area": area,
+                             "data": "withdraw $80 from checking"}, tid)
+        yield from app.call(accounts, "set_cell",
+                            {"cell": CHECKING, "value": -45}, tid)
+        yield Timeout(cluster.engine, 60_000.0)  # the crash interrupts us
+
+    cluster.spawn_on("teller", doomed_withdrawal())
+    cluster.engine.run(until=cluster.engine.now + 2_000.0)
+    show_screen("mid-withdrawal (grey: in progress)")
+
+    print("\n*** node fails during the transaction ***")
+    cluster.crash_node("teller")
+    cluster.restart_node("teller")
+    app = cluster.application("teller")
+    show_screen("restored after the crash (withdrawal struck through)")
+
+    # Area three: the user tries again, conversationally.
+    def retry(tid):
+        accounts = yield from app.lookup_one("accounts")
+        screen = yield from app.lookup_one("display")
+        yield from app.call(screen, "feed_input",
+                            {"area": area, "data": "80"}, tid)
+        amount = yield from app.call(screen, "read_line_from_area",
+                                     {"area": area}, tid)
+        balance = yield from app.call(accounts, "get_cell",
+                                      {"cell": CHECKING}, tid)
+        new_balance = balance["value"] - int(amount["data"])
+        yield from app.call(accounts, "set_cell",
+                            {"cell": CHECKING, "value": new_balance}, tid)
+        yield from app.call(screen, "write_to_area",
+                            {"area": area,
+                             "data": f"withdrew $80, balance "
+                                     f"${new_balance}"}, tid)
+        return new_balance
+
+    balance = cluster.run_transaction("teller", retry)
+    show_screen("after the retried withdrawal")
+    print(f"\nfinal checking balance: ${balance}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A distributed mail system over two nodes (Section 2.2's motivation).
+
+"The integrity guarantees of a mail system, such as one sketched by
+Liskov, are also simplified" by distributed transactions: delivering one
+message to recipients on *different nodes* either happens everywhere or
+nowhere, with no special mail-system recovery code.  The mailbox server's
+type-specific locking lets concurrent senders deliver to the same mailbox
+without serializing.
+
+Run:  python examples/distributed_mail.py
+"""
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.mailbox import MailboxServer
+
+ALICE = ("east", "mail_east", 0)
+BOB = ("west", "mail_west", 0)
+
+
+def main() -> None:
+    cluster = TabsCluster(TabsConfig())
+    for node, server in (("east", "mail_east"), ("west", "mail_west")):
+        cluster.add_node(node)
+        cluster.add_server(node, MailboxServer.factory(server))
+    cluster.start()
+    app = cluster.application("east")
+
+    def refs():
+        east = yield from app.lookup_one("mail_east")
+        west = yield from app.lookup_one("mail_west")
+        return east, west
+
+    east, west = cluster.run_on("east", refs())
+
+    # One logical send: a copy to Alice (east) and a copy to Bob (west),
+    # atomically -- the two-phase commit spans both nodes.
+    def broadcast(text):
+        def body(tid):
+            yield from app.call(east, "put",
+                                {"mailbox": ALICE[2], "message": text}, tid)
+            yield from app.call(west, "put",
+                                {"mailbox": BOB[2], "message": text}, tid)
+        return body
+
+    cluster.run_transaction("east", broadcast("meeting at noon"))
+    cluster.settle()
+    print("delivered 'meeting at noon' to alice@east and bob@west "
+          "atomically")
+
+    # A failed delivery leaves neither copy behind.
+    def half_hearted():
+        tid = yield from app.begin_transaction()
+        yield from app.call(east, "put",
+                            {"mailbox": ALICE[2],
+                             "message": "never mind"}, tid)
+        yield from app.abort_transaction(tid, reason="thought better of it")
+
+    cluster.run_on("east", half_hearted())
+    cluster.settle()
+    print("an aborted send left no partial delivery")
+
+    def read(ref, mailbox, node):
+        def body(tid):
+            result = yield from app.call(ref, "read_all",
+                                         {"mailbox": mailbox}, tid)
+            return result["messages"]
+        result = cluster.run_transaction(node, body)
+        cluster.settle()
+        return result
+
+    print(f"alice@east reads: {read(east, ALICE[2], 'east')}")
+    print(f"bob@west reads:   {read(west, BOB[2], 'west')}")
+
+    # Mail survives a mail-server node crash.
+    cluster.crash_node("west")
+    cluster.restart_node("west")
+    app2 = cluster.application("east")
+
+    def reread(tid):
+        fresh = yield from app2.lookup_one("mail_west")
+        result = yield from app2.call(fresh, "take_all",
+                                      {"mailbox": BOB[2]}, tid)
+        return result["messages"]
+
+    print(f"after west crashed and recovered, bob drains: "
+          f"{cluster.run_transaction('east', reread)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""A transactional print spooler: three data servers composed.
+
+The Conclusions predict "specialized distributed database systems, file
+systems, mail systems, spoolers, editors, etc. could be based on the
+implementation techniques that our existing servers use."  This spooler
+composes three of them with no new recovery code:
+
+- documents live in the **transactional file system**;
+- the job queue is the **weak queue** (aborted submissions leave no job;
+  concurrent submitters do not serialize);
+- printed output goes to the **I/O server**, whose display shows each
+  job grey while printing and black once the print transaction commits.
+
+A submission (write the document + enqueue the job) is one transaction;
+printing (dequeue + read + print) is another -- so a job is consumed
+exactly once even across a crash between submissions and printing.
+
+Run:  python examples/print_spooler.py
+"""
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.filesystem import TransactionalFileSystemServer
+from repro.servers.io_server import IOServer
+from repro.servers.weak_queue import WeakQueueServer
+
+
+def main() -> None:
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("office")
+    cluster.add_server("office",
+                       TransactionalFileSystemServer.factory("docs"))
+    cluster.add_server("office", WeakQueueServer.factory("jobs",
+                                                         capacity=16))
+    cluster.add_server("office", IOServer.factory("printer"))
+    cluster.start()
+    app = cluster.application("office")
+
+    def setup(tid):
+        fs = yield from app.lookup_one("docs")
+        queue = yield from app.lookup_one("jobs")
+        printer = yield from app.lookup_one("printer")
+        yield from app.call(fs, "mkfs", {}, tid)
+        yield from app.call(fs, "mkdir", {"path": "/spool"}, tid)
+        tray = yield from app.call(printer, "obtain_io_area", {}, tid)
+        return fs, queue, printer, tray["area"]
+
+    fs, queue, printer, tray = cluster.run_transaction("office", setup)
+
+    # --- submissions: document + job, atomically --------------------------
+    def submit(name, text):
+        def body(tid):
+            path = f"/spool/{name}"
+            yield from app.call(fs, "create", {"path": path}, tid)
+            yield from app.call(fs, "write", {"path": path, "data": text},
+                                tid)
+            yield from app.call(queue, "enqueue", {"data": path}, tid)
+        return body
+
+    for name, text in (("report.txt", "Q3 numbers are in."),
+                       ("memo.txt", "Lunch moved to noon.")):
+        cluster.run_transaction("office", submit(name, text))
+        print(f"submitted {name}")
+
+    # An abandoned submission: neither the file nor the job survives.
+    def abandoned():
+        tid = yield from app.begin_transaction()
+        yield from app.call(fs, "create", {"path": "/spool/draft"}, tid)
+        yield from app.call(queue, "enqueue", {"data": "/spool/draft"},
+                            tid)
+        yield from app.abort_transaction(tid, reason="still editing")
+
+    cluster.run_on("office", abandoned())
+    print("an abandoned submission left no job behind")
+
+    # --- the printer daemon: one job per transaction -----------------------
+    def print_next(tid):
+        job = yield from app.call(queue, "dequeue", {}, tid)
+        path = job["data"]
+        document = yield from app.call(fs, "read", {"path": path}, tid)
+        yield from app.call(printer, "write_to_area",
+                            {"area": tray,
+                             "data": f"{path}: {document['data']}"}, tid)
+        yield from app.call(fs, "remove", {"path": path}, tid)
+        return path
+
+    printed = []
+    while True:
+        try:
+            printed.append(
+                cluster.run_transaction("office", print_next))
+        except Exception:
+            break
+    print(f"printed {len(printed)} jobs: {printed}")
+
+    def render(tid):
+        result = yield from app.call(printer, "render_area",
+                                     {"area": tray}, tid)
+        return result["lines"]
+
+    print("\n--- printer output tray ---")
+    for line in cluster.run_transaction("office", render):
+        print(f"| {line}")
+
+    def spool_dir(tid):
+        result = yield from app.call(fs, "list_dir", {"path": "/spool"},
+                                     tid)
+        return result["entries"]
+
+    print(f"\n/spool after printing: "
+          f"{cluster.run_transaction('office', spool_dir)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "Distributed Transactions for Reliable Systems"
+(Spector, Daniels, Duchamp, Eppinger, Pausch -- SOSP 1985).
+
+The package implements the TABS prototype -- a general-purpose distributed
+transaction facility supporting transactions on user-defined abstract
+objects -- over a deterministic discrete-event simulation of its Accent
+substrate, together with the paper's five example data servers and the
+Section 5 performance-evaluation methodology.
+
+Public entry points:
+
+- :class:`TabsCluster` / :class:`TabsConfig` -- build and drive a cluster.
+- :class:`ApplicationLibrary` -- Table 3-2 (BeginTransaction and friends).
+- :class:`DataServerLibrary` -- Table 3-1 (the server library).
+- :mod:`repro.servers` -- the Section 4 data servers.
+- :mod:`repro.perf` -- benchmarks and the microscopic performance model.
+"""
+
+from repro.app.library import ApplicationLibrary
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig
+from repro.errors import (
+    LockTimeout,
+    QuorumUnavailable,
+    SessionBroken,
+    TabsError,
+    TransactionAborted,
+)
+from repro.kernel.costs import ACHIEVABLE_1985, MEASURED_1985, Primitive
+from repro.server.library import DataServerLibrary
+from repro.txn.ids import NULL_TID, TransactionID
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TabsCluster", "TabsConfig", "ApplicationLibrary", "DataServerLibrary",
+    "TransactionID", "NULL_TID", "TabsError", "TransactionAborted",
+    "LockTimeout", "SessionBroken", "QuorumUnavailable",
+    "MEASURED_1985", "ACHIEVABLE_1985", "Primitive", "__version__",
+]

@@ -1,0 +1,82 @@
+"""Command-line demo runner: ``python -m repro <command>``.
+
+Commands:
+
+- ``inventory`` -- print the Figure 3-1 component map of a running node
+- ``primitives`` -- measure and print Table 5-1 against the paper
+- ``benchmark [keys...]`` -- run Table 5-4 rows (default: a quick subset)
+- ``paths`` -- print the longest-path commit analysis (Table 5-3 method)
+
+The heavier artifacts (all fourteen benchmarks under three configurations,
+ablations, throughput) live in ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import TabsCluster, TabsConfig
+from repro.kernel.costs import MEASURED_1985
+from repro.perf.model import PAPER_TABLE_5_3
+from repro.perf.pathmodel import TABLE_5_3_PATHS
+from repro.perf.primitives import measure_primitives
+from repro.perf.projections import run_table_5_4
+from repro.perf.report import render_table_5_1, render_table_5_4
+from repro.servers.int_array import IntegerArrayServer
+
+
+def cmd_inventory(_args) -> int:
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("demo")
+    cluster.add_server("demo", IntegerArrayServer.factory("array"))
+    cluster.start()
+    print("Figure 3-1: the components of a TABS node\n")
+    for name, role in cluster.node("demo").component_inventory().items():
+        print(f"  {name:24s} {role}")
+    return 0
+
+
+def cmd_primitives(_args) -> int:
+    measured = measure_primitives(repetitions=20)
+    print(render_table_5_1(measured, MEASURED_1985))
+    return 0
+
+
+def cmd_benchmark(args) -> int:
+    keys = args.keys or ["r1", "w1", "r1r1", "w1w1"]
+    rows = run_table_5_4(keys=keys, iterations=args.iterations)
+    print(render_table_5_4(rows))
+    return 0
+
+
+def cmd_paths(_args) -> int:
+    print("Longest-path commit counts (ours | paper), per Table 5-3\n")
+    for protocol, path in TABLE_5_3_PATHS.items():
+        paper = PAPER_TABLE_5_3[protocol]
+        print(f"  {protocol:14s} dg {path.datagrams:>4} | "
+              f"{paper.datagrams:>4}   small {path.small:>4.0f} | "
+              f"{paper.small:>4.0f}   stable {path.stable_writes:>2.0f} | "
+              f"{paper.stable_writes:>2.0f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TABS reproduction demo runner (SOSP 1985)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("inventory").set_defaults(run=cmd_inventory)
+    sub.add_parser("primitives").set_defaults(run=cmd_primitives)
+    bench = sub.add_parser("benchmark")
+    bench.add_argument("keys", nargs="*",
+                       help="benchmark keys (e.g. r1 w1 r1r1)")
+    bench.add_argument("--iterations", type=int, default=10)
+    bench.set_defaults(run=cmd_benchmark)
+    sub.add_parser("paths").set_defaults(run=cmd_paths)
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""The transaction management library for applications (Table 3-2).
+
+``BeginTransaction`` / ``EndTransaction`` / ``AbortTransaction`` plus the
+``TransactionIsAborted`` exception, and the RPC entry point applications
+use to call operations on data servers.
+"""
+
+from repro.app.library import ApplicationLibrary
+
+__all__ = ["ApplicationLibrary"]

@@ -1,0 +1,139 @@
+"""The transaction management library (Table 3-2).
+
+=====================  =======================================================
+Table 3-2 routine      method
+=====================  =======================================================
+``BeginTransaction``   :meth:`ApplicationLibrary.begin_transaction`
+``EndTransaction``     :meth:`end_transaction`
+``AbortTransaction``   :meth:`abort_transaction`
+``TransactionIsAborted``  the :class:`repro.errors.TransactionAborted`
+                       exception, re-raised out of any call that touches an
+                       aborted transaction
+=====================  =======================================================
+
+The library also flips the cost meter between the pre-commit and commit
+phases when ``measured`` is set, which is how the benchmark harness
+regenerates the paper's Table 5-2 / Table 5-3 split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.comm.network import Network
+from repro.errors import LockTimeout, TransactionAborted
+from repro.kernel.costs import Phase
+from repro.kernel.messages import Message
+from repro.kernel.node import Node
+from repro.kernel.ports import Port
+from repro.nameserver.library import NameServerLibrary
+from repro.rpc import stubs
+from repro.rpc.stubs import ServiceRef
+from repro.txn.ids import NULL_TID, TransactionID
+from repro.txn.manager import SERVICE as TM_SERVICE
+
+
+class ApplicationLibrary:
+    """Transaction control and operation invocation for one application."""
+
+    def __init__(self, node: Node, network: Network,
+                 measured: bool = False) -> None:
+        self.node = node
+        self.ctx = node.ctx
+        self.network = network
+        self.names = NameServerLibrary(node)
+        #: when True, begin/end flip the cost meter's phase markers
+        self.measured = measured
+
+    # -- Table 3-2 --------------------------------------------------------------
+
+    def begin_transaction(self, parent: TransactionID = NULL_TID):
+        """Start a transaction; a null parent makes it top-level (generator).
+
+        Returns the new :class:`TransactionID`.
+        """
+        if self.measured:
+            self.ctx.meter.phase = Phase.PRE_COMMIT
+        yield self.ctx.cpu("APP", self.ctx.cpu_costs.app_txn_overhead)
+        body = yield from self._tm_request("tm.begin", {"parent": parent})
+        return body["tid"]
+
+    def end_transaction(self, tid: TransactionID):
+        """Attempt to commit (generator).  Returns True iff committed."""
+        if self.measured:
+            self.ctx.meter.phase = Phase.COMMIT
+        try:
+            body = yield from self._tm_request("tm.end", {"tid": tid})
+        finally:
+            if self.measured:
+                self.ctx.meter.phase = Phase.PRE_COMMIT
+        return body["committed"]
+
+    def abort_transaction(self, tid: TransactionID, reason: str = ""):
+        """Force the transaction to abort (generator)."""
+        yield from self._tm_request("tm.abort", {"tid": tid,
+                                                 "reason": reason})
+
+    def _tm_request(self, op: str, body: dict):
+        reply_port = Port(self.ctx, node=self.node, name=f"app:{op}")
+        self.node.service(TM_SERVICE).send(Message(op=op, body=body,
+                                                   reply_to=reply_port))
+        response = yield reply_port.receive()
+        if "error" in response.body:
+            raise response.body["error"]
+        return response.body
+
+    # -- operations on objects ---------------------------------------------------
+
+    def call(self, ref: ServiceRef, op: str, body: dict | None = None,
+             tid: TransactionID | None = None):
+        """Invoke an operation on a data server within ``tid`` (generator)."""
+        result = yield from stubs.call(self.network, self.node, ref, op,
+                                       body, tid)
+        return result
+
+    def lookup(self, name: str, node_name: str = "", desired: int = 1):
+        """Name Server lookup (generator returning ServiceRef list)."""
+        refs = yield from self.names.lookup(name, node_name=node_name,
+                                            desired=desired)
+        return refs
+
+    def lookup_one(self, name: str, node_name: str = ""):
+        ref = yield from self.names.lookup_one(name, node_name=node_name)
+        return ref
+
+    # -- conveniences -----------------------------------------------------------------
+
+    def run_transaction(self, body_fn: Callable, retries: int = 0,
+                        backoff_ms: float = 200.0):
+        """Begin, run ``body_fn(tid)`` (a generator), and commit.
+
+        Aborts on exception and re-raises.  With ``retries`` > 0, a
+        transaction that aborts (a deadlock time-out, say) is retried
+        after a randomized backoff -- without the jitter, deterministic
+        contenders would re-create the same deadlock forever.
+        """
+        from repro.sim import Timeout
+
+        attempt = 0
+        while True:
+            tid = yield from self.begin_transaction()
+            try:
+                result = yield from body_fn(tid)
+            except Exception as error:
+                yield from self.abort_transaction(tid, reason=repr(error))
+                retryable = isinstance(error, (TransactionAborted,
+                                               LockTimeout))
+                if retryable and attempt < retries:
+                    attempt += 1
+                    yield Timeout(self.ctx.engine,
+                                  self.ctx.random.uniform(
+                                      0.0, backoff_ms * attempt))
+                    continue
+                raise
+            committed = yield from self.end_transaction(tid)
+            if committed:
+                return result
+            if attempt >= retries:
+                raise TransactionAborted(tid, "commit failed")
+            attempt += 1

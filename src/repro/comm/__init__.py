@@ -1,0 +1,20 @@
+"""Network communication.
+
+The Communication Manager is the only process with access to the network
+(Section 3.2.4).  It implements three forms of communication:
+
+- **datagrams** for the distributed two-phase commit,
+- **reliable session communication** for remote procedure calls,
+- **broadcasting** for name lookup by the Name Server.
+
+It also scans transaction identifiers in inter-node messages and constructs
+the local portion of the spanning tree that the Transaction Manager uses
+during two-phase commit, and it detects permanent communication failures,
+aiding in the detection of remote node crashes.
+"""
+
+from repro.comm.manager import CommunicationManager
+from repro.comm.network import Network
+from repro.comm.sessions import Session
+
+__all__ = ["Network", "CommunicationManager", "Session"]

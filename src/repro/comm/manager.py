@@ -1,0 +1,196 @@
+"""The Communication Manager process.
+
+One runs on every node; it is the only process with network access.  Local
+clients reach it through its request port:
+
+=======================  ====================================================
+request ``op``           effect
+=======================  ====================================================
+``cm.send_datagram``     transmit ``body["payload"]`` to ``body["target"]``
+``cm.spanning_info``     reply (pointer message) with the commit spanning
+                         tree fragment for ``body["tid"]``
+``cm.broadcast``         broadcast ``body["payload"]`` to all other nodes
+``cm.ack_remote``        Transaction Manager's ack of a remote-transaction
+                         notice (bookkeeping only)
+=======================  ====================================================
+
+Inbound datagrams are forwarded to the local service named in the payload
+(``transaction_manager``, ``name_server``, ...) as small local messages.
+
+The spanning-tree duty (Section 3.2.4): the Communication Manager scans the
+transaction identifier of every inter-node message.  It records the node's
+parent (the first remote node to invoke an operation here on behalf of the
+transaction), whether the transaction was initiated remotely, and the list
+of the node's children; and it tells the local Transaction Manager -- once
+per transaction -- that remote sites are involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.network import Network
+from repro.comm.sessions import SessionTable
+from repro.kernel.costs import Primitive
+from repro.kernel.messages import Message, MessageKind
+from repro.kernel.node import Node
+from repro.sim import Timeout
+from repro.txn.ids import TransactionID
+
+SERVICE = "communication_manager"
+
+
+@dataclass
+class SpanningRecord:
+    """This node's fragment of one transaction's commit spanning tree."""
+
+    parent: str = ""
+    children: set[str] = field(default_factory=set)
+    #: epoch of each child when first contacted -- "a small amount of
+    #: additional information that is used for detecting some types of node
+    #: crashes" (Section 3.2.4)
+    child_epochs: dict[str, int] = field(default_factory=dict)
+    #: notices already sent to the local Transaction Manager
+    tm_told_arrival: bool = False
+    tm_told_remote_sites: bool = False
+
+
+class CommunicationManager:
+    """Datagrams, sessions, broadcast, and spanning-tree recording."""
+
+    def __init__(self, node: Node, network: Network) -> None:
+        self.node = node
+        self.ctx = node.ctx
+        self.network = network
+        self.port = node.create_port("cm")
+        node.register_service(SERVICE, self.port)
+        network.register(node, self)
+        self.sessions = SessionTable(network, node.name)
+        self._trees: dict[TransactionID, SpanningRecord] = {}
+        node.spawn(self._loop(), name="communication-manager", defused=True)
+
+    # -- request loop -------------------------------------------------------
+
+    def _loop(self):
+        while True:
+            message = yield self.port.receive()
+            handler = getattr(self, "_handle_" + message.op.split(".")[-1],
+                              None)
+            if handler is None:
+                continue  # unknown requests are dropped, like bad datagrams
+            self.node.spawn(handler(message),
+                            name=f"cm:{message.op}", defused=True)
+
+    def _handle_send_datagram(self, message: Message):
+        yield self.ctx.cpu("CM", self.ctx.cpu_costs.cm_datagram)
+        target = message.body["target"]
+        payload: Message = message.body["payload"]
+        payload.sender_node = self.node.name
+        # The sender is busy for half the datagram time; the other half is
+        # wire latency that overlaps with the sender's next work.  This is
+        # exactly the paper's one-half-datagram accounting (Table 5-3).
+        time_ms = self.ctx.delay_of(Primitive.DATAGRAM)
+        yield Timeout(self.ctx.engine, time_ms / 2)
+        self.network.deliver_datagram(target, payload, time_ms / 2)
+
+    def _handle_spanning_info(self, message: Message):
+        yield self.ctx.cpu("CM", self.ctx.cpu_costs.cm_datagram)
+        record = self._trees.get(self._key(message.body["tid"]),
+                                 SpanningRecord())
+        message.reply_to.send(Message(
+            op="cm.spanning_info_reply",
+            body={"parent": record.parent,
+                  "children": sorted(record.children),
+                  "child_epochs": dict(record.child_epochs)},
+            kind=MessageKind.POINTER))
+
+    def _handle_broadcast(self, message: Message):
+        yield self.ctx.cpu("CM", self.ctx.cpu_costs.cm_datagram)
+        payload: Message = message.body["payload"]
+        time_ms = self.ctx.delay_of(Primitive.DATAGRAM)
+        yield Timeout(self.ctx.engine, time_ms / 2)
+        self.network.broadcast_datagram(
+            self.node.name,
+            lambda _target: Message(op=payload.op, body=dict(payload.body),
+                                    reply_to=payload.reply_to,
+                                    tid=payload.tid,
+                                    sender_node=self.node.name),
+            time_ms / 2)
+
+    def _handle_ack_remote(self, message: Message):
+        return  # pure bookkeeping: the notice/ack pair is now complete
+        yield  # pragma: no cover
+
+    # -- inbound datagrams -----------------------------------------------------
+
+    def deliver_inbound_datagram(self, message: Message) -> None:
+        """Called by the network when a datagram arrives for this node."""
+        if not self.node.alive:  # pragma: no cover - network already checks
+            return
+        self.node.spawn(self._forward_inbound(message),
+                        name="cm:inbound", defused=True)
+
+    def _forward_inbound(self, message: Message):
+        yield self.ctx.cpu("CM", self.ctx.cpu_costs.cm_datagram)
+        service = message.body.get("service", "transaction_manager")
+        try:
+            port = self.node.service(service)
+        except Exception:
+            return  # target service not up: datagram semantics, drop it
+        port.send(message)  # small local message, charged
+
+    # -- spanning-tree recording (called from the RPC session path) -----------
+
+    def _key(self, tid: TransactionID) -> TransactionID:
+        return tid.toplevel
+
+    def record_outbound(self, tid: TransactionID | None, target: str) -> None:
+        """An inter-node message for ``tid`` is about to leave this node."""
+        if tid is None:
+            return
+        record = self._trees.setdefault(self._key(tid), SpanningRecord())
+        if target != record.parent and target not in record.children:
+            record.children.add(target)
+            record.child_epochs[target] = (
+                self.network.epoch_of(target)
+                if self.network.is_up(target) else -1)
+        # The transaction now has sites below this node: the local
+        # Transaction Manager must know, whether we are its birth node or
+        # an interior node of the spanning tree.
+        if not record.tm_told_remote_sites:
+            record.tm_told_remote_sites = True
+            tm_port = self._tm_port()
+            if tm_port is not None:
+                tm_port.send(Message(op="tm.remote_sites", tid=tid,
+                                     body={"tid": tid}))
+
+    def record_inbound(self, tid: TransactionID | None, source: str) -> None:
+        """An inter-node message for ``tid`` just arrived from ``source``."""
+        if tid is None:
+            return
+        key = self._key(tid)
+        is_new = key not in self._trees
+        record = self._trees.setdefault(key, SpanningRecord())
+        if is_new and tid.toplevel.node != self.node.name:
+            # First node to ship us the transaction becomes our parent.
+            record.parent = source
+        if record.parent and not record.tm_told_arrival:
+            # A remote-born transaction: the TM must learn of it (and acks,
+            # creating its local state for the eventual prepare).
+            record.tm_told_arrival = True
+            tm_port = self._tm_port()
+            if tm_port is not None:
+                tm_port.send(Message(
+                    op="tm.remote_arrived", tid=tid,
+                    body={"tid": tid, "parent_node": record.parent,
+                          "reply_service": SERVICE}))
+
+    def _tm_port(self):
+        try:
+            return self.node.service("transaction_manager")
+        except Exception:  # pragma: no cover - TM always up in practice
+            return None
+
+    def spanning_record(self, tid: TransactionID) -> SpanningRecord:
+        """Direct (uncharged) read for recovery and tests."""
+        return self._trees.get(self._key(tid), SpanningRecord())

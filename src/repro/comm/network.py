@@ -1,0 +1,103 @@
+"""The simulated network fabric.
+
+The network connects the Communication Managers of all nodes.  It resolves
+node names, reports liveness (a crashed node is simply unreachable -- there
+is no oracle beyond failed communication), and carries datagrams with an
+optional loss rate for failure-injection tests.  Sessions are layered on
+top in :mod:`repro.comm.sessions`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import CommunicationError
+from repro.kernel.context import SimContext
+from repro.kernel.messages import Message
+from repro.kernel.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.comm.manager import CommunicationManager
+
+
+class Network:
+    """Registry of nodes and the datagram transport between them."""
+
+    def __init__(self, ctx: SimContext, datagram_loss_rate: float = 0.0) -> None:
+        if not 0.0 <= datagram_loss_rate < 1.0:
+            raise CommunicationError(
+                f"loss rate {datagram_loss_rate} outside [0, 1)")
+        self.ctx = ctx
+        self.datagram_loss_rate = datagram_loss_rate
+        self._nodes: dict[str, Node] = {}
+        self._managers: dict[str, "CommunicationManager"] = {}
+        self.datagrams_sent = 0
+        self.datagrams_lost = 0
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, node: Node,
+                 manager: "CommunicationManager") -> None:
+        self._nodes[node.name] = node
+        self._managers[node.name] = manager
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise CommunicationError(f"unknown node {name!r}") from None
+
+    def manager(self, name: str) -> "CommunicationManager":
+        try:
+            return self._managers[name]
+        except KeyError:
+            raise CommunicationError(f"no Communication Manager registered "
+                                     f"for node {name!r}") from None
+
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def is_up(self, name: str) -> bool:
+        node = self._nodes.get(name)
+        return node is not None and node.alive
+
+    def epoch_of(self, name: str) -> int:
+        return self.node(name).epoch
+
+    # -- datagram transport -----------------------------------------------------
+
+    def deliver_datagram(self, target: str, message: Message,
+                         latency_ms: float) -> None:
+        """Queue a datagram for delivery to ``target``'s Communication
+        Manager after ``latency_ms``.  Silently dropped if the target is
+        down at delivery time or the loss roll fails -- datagram semantics.
+        """
+        self.datagrams_sent += 1
+        if (self.datagram_loss_rate and
+                self.ctx.random.random() < self.datagram_loss_rate):
+            self.datagrams_lost += 1
+            return
+
+        def arrive() -> None:
+            if not self.is_up(target):
+                self.datagrams_lost += 1
+                return
+            self._managers[target].deliver_inbound_datagram(message)
+
+        self.ctx.engine.schedule(latency_ms, arrive)
+
+    def broadcast_datagram(self, source: str, message_factory:
+                           Callable[[str], Message],
+                           latency_ms: float) -> int:
+        """Deliver one broadcast to every other live node's manager.
+
+        Returns the number of nodes targeted.  ``message_factory`` builds a
+        fresh message per recipient so receivers never share mutable bodies.
+        """
+        targets = [name for name in self._nodes
+                   if name != source and self.is_up(name)]
+        for name in targets:
+            self.deliver_datagram(name, message_factory(name), latency_ms)
+            self.datagrams_sent -= 1  # broadcast is one wire transmission
+        self.datagrams_sent += 1 if targets else 0
+        return len(targets)

@@ -1,0 +1,32 @@
+"""The TABS facility: assembled nodes and clusters.
+
+This package is the library's front door.  A :class:`TabsCluster` owns the
+simulation context and network; each :class:`TabsNode` runs one instance of
+the TABS facilities -- Name Server, Communication Manager, Recovery
+Manager, Transaction Manager (Figure 3-1) -- plus user data servers and
+applications.
+
+Typical use::
+
+    from repro import TabsCluster, TabsConfig
+    from repro.servers.int_array import IntegerArrayServer
+
+    cluster = TabsCluster(TabsConfig())
+    node = cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("accounts"))
+    cluster.start()
+
+    app = cluster.application("n1")
+
+    def deposit(tid):
+        ref = yield from app.lookup_one("accounts")
+        yield from app.call(ref, "set_cell", {"cell": 1, "value": 100}, tid)
+
+    cluster.run_transaction("n1", deposit)
+"""
+
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig
+from repro.core.facility import TabsNode
+
+__all__ = ["TabsCluster", "TabsConfig", "TabsNode"]

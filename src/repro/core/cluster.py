@@ -1,0 +1,114 @@
+"""A cluster of TABS nodes over one simulated network.
+
+The cluster owns the :class:`~repro.kernel.context.SimContext` (engine +
+cost model + instrumentation) and provides the synchronous driving surface
+used by tests, examples, and benchmarks: build nodes, add servers, start
+everything, then run application generators to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.app.library import ApplicationLibrary
+from repro.comm.network import Network
+from repro.core.config import TabsConfig
+from repro.core.facility import TabsNode
+from repro.errors import TabsError
+from repro.kernel.context import SimContext
+from repro.sim import Process
+
+
+class TabsCluster:
+    """Builds and drives a set of TABS nodes."""
+
+    def __init__(self, config: TabsConfig | None = None) -> None:
+        self.config = config or TabsConfig()
+        self.ctx = SimContext(profile=self.config.profile,
+                              cpu_costs=self.config.cpu_costs,
+                              seed=self.config.seed)
+        self.ctx.merged_architecture = self.config.merged_architecture
+        self.network = Network(self.ctx,
+                               datagram_loss_rate=self.config
+                               .datagram_loss_rate)
+        self.nodes: dict[str, TabsNode] = {}
+        self._started = False
+
+    @property
+    def engine(self):
+        return self.ctx.engine
+
+    @property
+    def meter(self):
+        return self.ctx.meter
+
+    # -- topology ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> TabsNode:
+        if name in self.nodes:
+            raise TabsError(f"node {name!r} already exists")
+        tabs_node = TabsNode(self.ctx, self.network, name, self.config)
+        self.nodes[name] = tabs_node
+        return tabs_node
+
+    def node(self, name: str) -> TabsNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TabsError(f"no node named {name!r}") from None
+
+    def add_server(self, node_name: str, factory: Callable) -> None:
+        self.node(node_name).add_server(factory)
+
+    def start(self) -> None:
+        """Bring every node's servers up (runs the simulation)."""
+        for tabs_node in self.nodes.values():
+            self.run_on(tabs_node.name, tabs_node.setup_generator())
+        self._started = True
+
+    # -- failure control -----------------------------------------------------------------
+
+    def crash_node(self, name: str) -> None:
+        self.node(name).crash()
+
+    def restart_node(self, name: str):
+        """Restart a crashed node and run its crash recovery.
+
+        Returns the :class:`~repro.recovery.driver.RecoveryReport`.
+        """
+        tabs_node = self.node(name)
+        return self.run_on(name, tabs_node.restart_generator())
+
+    # -- driving the simulation -------------------------------------------------------------
+
+    def run_on(self, node_name: str, generator: Generator):
+        """Run a generator as a process on a node, to completion."""
+        process = Process(self.ctx.engine, generator,
+                          name=f"{node_name}:driver")
+        return self.ctx.engine.run_until(process)
+
+    def spawn_on(self, node_name: str, generator: Generator,
+                 name: str = "app") -> Process:
+        """Start a generator as a background process on a node."""
+        return self.node(node_name).node.spawn(generator, name=name,
+                                               defused=True)
+
+    def settle(self, extra_ms: float = 0.0) -> None:
+        """Drain all pending simulation work (e.g. lazy phase two)."""
+        if extra_ms:
+            self.ctx.engine.run(until=self.ctx.engine.now + extra_ms)
+        self.ctx.engine.run()
+
+    # -- applications ------------------------------------------------------------------------
+
+    def application(self, node_name: str,
+                    measured: bool = False) -> ApplicationLibrary:
+        return ApplicationLibrary(self.node(node_name).node, self.network,
+                                  measured=measured)
+
+    def run_transaction(self, node_name: str, body_fn: Callable,
+                        measured: bool = False, retries: int = 0):
+        """Begin/run/commit ``body_fn(tid)`` on a node; returns its result."""
+        app = self.application(node_name, measured=measured)
+        return self.run_on(node_name, app.run_transaction(body_fn,
+                                                          retries=retries))

@@ -1,0 +1,59 @@
+"""Cluster configuration.
+
+A :class:`TabsConfig` fixes the cost model (which primitive-time profile,
+which per-component CPU calibration), the architecture variant (separate
+processes as measured, or the Section 5.3 merged projection), and the
+capacity knobs of the substrate.  The performance harness sweeps these to
+regenerate Table 5-4's four columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.kernel.costs import (
+    ACHIEVABLE_1985,
+    MEASURED_1985,
+    CostProfile,
+    CpuCosts,
+)
+
+
+@dataclass(frozen=True)
+class TabsConfig:
+    """Everything needed to build a cluster."""
+
+    profile: CostProfile = MEASURED_1985
+    cpu_costs: CpuCosts = field(default_factory=CpuCosts)
+    #: Section 5.3 "Improved TABS Architecture": TM/RM merged into the kernel
+    merged_architecture: bool = False
+    #: page frames of physical memory per node ("more than three times" less
+    #: than the 5000-page benchmark array on a real Perq)
+    vm_capacity_pages: int = 1500
+    log_capacity_records: int = 100_000
+    log_buffer_records: int = 512
+    lock_timeout_ms: float = 10_000.0
+    datagram_loss_rate: float = 0.0
+    #: TM-driven checkpoint cadence (Section 3.2.2), in commits; None = off
+    checkpoint_every_commits: int | None = None
+    seed: int = 1985
+
+    @classmethod
+    def measured(cls) -> "TabsConfig":
+        """The system as measured in Table 5-4's 'Measured Elapsed Time'."""
+        return cls()
+
+    @classmethod
+    def improved_architecture(cls) -> "TabsConfig":
+        """Table 5-4's 'Improved TABS Architecture' column."""
+        return cls(merged_architecture=True)
+
+    @classmethod
+    def new_primitives(cls) -> "TabsConfig":
+        """Table 5-4's 'New Primitive Times' column: the improved
+        architecture running on Table 5-5's achievable primitives."""
+        return cls(merged_architecture=True, profile=ACHIEVABLE_1985)
+
+    def with_(self, **changes) -> "TabsConfig":
+        """A modified copy (ablation sweeps)."""
+        return replace(self, **changes)

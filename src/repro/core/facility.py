@@ -1,0 +1,270 @@
+"""One TABS node: the four system processes plus user data servers.
+
+The component inventory mirrors Figure 3-1: applications and data servers
+above; Name Server, Communication Manager, Recovery Manager, and
+Transaction Manager as the TABS system components; the (simulated) Accent
+kernel below.  The node's durable state -- its disk and its non-volatile
+log store -- survives :meth:`crash`; everything else is rebuilt by
+:meth:`restart` followed by crash recovery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.comm.manager import CommunicationManager
+from repro.comm.network import Network
+from repro.errors import TabsError
+from repro.kernel.context import SimContext
+from repro.kernel.node import Node
+from repro.nameserver.server import NameServer
+from repro.recovery.archive import Archive
+from repro.recovery.driver import RecoveryReport, recover_node
+from repro.recovery.manager import (
+    RecoveryManager,
+    RecoveryManagerClient,
+    RmPagerClient,
+)
+from repro.txn.manager import TransactionManager
+from repro.wal.store import LogStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import TabsConfig
+
+#: base virtual address of the first recoverable segment on a node; further
+#: segments are laid out above it
+SEGMENT_BASE_VA = 0x1000_0000
+SEGMENT_VA_STRIDE = 0x0100_0000
+
+
+class TabsNode:
+    """The TABS facilities on one simulated workstation."""
+
+    def __init__(self, ctx: SimContext, network: Network, name: str,
+                 config: "TabsConfig") -> None:
+        self.ctx = ctx
+        self.network = network
+        self.name = name
+        self.config = config
+        #: durable across restarts (the log lives on the node's disk)
+        self.log_store = LogStore(config.log_capacity_records)
+        #: the off-line archive (Section 2.1.3); survives even disk loss
+        self.archive = Archive()
+        self._server_factories: dict[str, Callable] = {}
+        self._next_va = SEGMENT_BASE_VA
+        self._segment_vas: dict[str, int] = {}
+        self.node: Node | None = None
+        self.last_recovery: RecoveryReport | None = None
+        self._build()
+
+    # -- construction -------------------------------------------------------------
+
+    def _build(self) -> None:
+        if self.node is None:
+            self.node = Node(self.ctx, self.name,
+                             vm_capacity_pages=self.config.vm_capacity_pages)
+        self.cm = CommunicationManager(self.node, self.network)
+        self.ns = NameServer(self.node, self.network)
+        self.rm = RecoveryManager(self.node, store=self.log_store,
+                                  buffer_capacity=self.config
+                                  .log_buffer_records)
+        self.tm = TransactionManager(self.node,
+                                     RecoveryManagerClient(self.node))
+        self.tm.checkpoint_every_commits = \
+            self.config.checkpoint_every_commits
+        self.node.vm.pager_client = RmPagerClient(self.node)
+        #: name -> live data-server objects (BaseDataServer instances)
+        self.servers: dict[str, object] = {}
+
+    def allocate_segment_va(self, segment_id: str = "") -> int:
+        """Carve out address space for one more recoverable segment.
+
+        Keyed by segment id: a recovered server re-maps its segment at
+        the same virtual address, so object ids stay stable.
+        """
+        if segment_id and segment_id in self._segment_vas:
+            return self._segment_vas[segment_id]
+        va = self._next_va
+        self._next_va += SEGMENT_VA_STRIDE
+        if segment_id:
+            self._segment_vas[segment_id] = va
+        return va
+
+    # -- server management ------------------------------------------------------------
+
+    def add_server(self, factory: Callable) -> None:
+        """Register a data-server factory: ``factory(tabs_node) -> server``.
+
+        The factory is kept so the server can be re-instantiated after a
+        crash (the abstraction is permanent even though its ports change,
+        Section 3.1.3).
+        """
+        server = factory(self)
+        if server.name in self._server_factories:
+            raise TabsError(f"server {server.name!r} already exists on "
+                            f"node {self.name!r}")
+        self._server_factories[server.name] = factory
+        self.servers[server.name] = server
+
+    def setup_generator(self, media_restore_segments: list[str] | None = None):
+        """Bring every server up: map, attach, recover, serve (generator).
+
+        With ``media_restore_segments``, archived page images are restored
+        first and the value pass replays from the archive position (media
+        recovery).
+        """
+        for server in self.servers.values():
+            yield from server.setup()
+        media_bound = None
+        if media_restore_segments:
+            self.archive.restore(self.node.disk, media_restore_segments)
+            media_bound = self.archive.archive_lsn + 1
+        report = yield from recover_node(
+            self.rm, self.tm,
+            {name: server.library for name, server in self.servers.items()},
+            media_bound=media_bound)
+        self.last_recovery = report
+        for server in self.servers.values():
+            yield from server.on_recovered()
+        for server in self.servers.values():
+            server.start()
+        return report
+
+    # -- failure model -----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: kill the node; disk and durable log survive."""
+        self.rm.crash()
+        self.node.crash()
+        self.servers = {}
+
+    def restart_generator(self, media_restore_segments: list[str] | None = None):
+        """Restart + crash recovery (generator).  Run it on the engine."""
+        self.node.restart()
+        self._build()
+        if not self.archive.empty:
+            self.rm.media_retention_lsn = self.archive.archive_lsn + 1
+        for factory in self._server_factories.values():
+            server = factory(self)
+            self.servers[server.name] = server
+        report = yield from self.setup_generator(
+            media_restore_segments=media_restore_segments)
+        return report
+
+    # -- archive dumps and media recovery (the Section 7 extension) -------------
+
+    def archive_dump_generator(self):
+        """Dump every attached segment's non-volatile image (generator).
+
+        "Systems infrequently dump the contents of non-volatile storage
+        into an off-line archive" (Section 2.1.3).  Forces dirty pages and
+        the log first, so the dump is consistent at ``archive_lsn``.
+        """
+        yield from self.node.vm.flush_all()
+        yield from self.rm.wal.force()
+        segment_ids = [server.segment_id
+                       for server in self.servers.values()]
+        self.archive.dump(self.node.disk, segment_ids,
+                          self.rm.wal.flushed_lsn)
+        self.rm.media_retention_lsn = self.archive.archive_lsn + 1
+        return self.archive.archive_lsn
+
+    def media_failure(self, segment_ids: list[str]) -> int:
+        """A disk failure destroys the named segments (node must be down:
+        losing the disk takes the system with it).  Returns pages lost."""
+        if self.node.alive:
+            raise TabsError("crash the node before failing its disk")
+        return sum(self.node.disk.wipe_segment(segment_id)
+                   for segment_id in segment_ids)
+
+    def media_recover_generator(self, segment_ids: list[str]):
+        """Restart with media recovery: restore the archive, then roll
+        the log forward from the archive position."""
+        return self.restart_generator(media_restore_segments=segment_ids)
+
+    # -- single-server recovery (the Section 7 extension) ----------------------------------
+
+    def fail_server(self, name: str) -> None:
+        """Kill one data-server process; the node stays up.
+
+        The paper's Conclusions ask that TABS "be extended to permit the
+        recovery of a single server without the recovery of the entire
+        node"; :meth:`recover_server` is that extension's other half.
+        """
+        server = self.servers.pop(name)
+        server.library.fail()
+
+    def recover_server_generator(self, name: str):
+        """Re-create one failed data server and recover it (generator).
+
+        The segment and the common log are intact (the node never went
+        down), so there is nothing to replay; what the dead process lost
+        was its volatile state.  Recovery therefore: re-creates the
+        process at the same segment address, aborts every non-prepared
+        transaction that had joined it (their locks and buffered state
+        are gone), and re-acquires write locks for its in-doubt prepared
+        transactions from the durable log.
+        """
+        from repro.kernel.messages import Message
+        from repro.kernel.ports import Port
+        from repro.recovery.analysis import analyze
+        from repro.wal.records import (
+            OperationRecord,
+            ServerPrepareRecord,
+            ValueUpdateRecord,
+        )
+
+        server = self._server_factories[name](self)
+        self.servers[name] = server
+        yield from server.setup()
+        self.tm.rebind_server_port(name, server.library.port)
+
+        # In-doubt transactions: restore their locks before anything runs.
+        records = self.rm.wal.read_forward(
+            self.rm.wal.store.truncated_before)
+        plan = analyze(records)
+        for tid, status_record in plan.prepared.items():
+            if name not in status_record.servers:
+                continue
+            oids = set()
+            for record in records:
+                if getattr(record, "server", None) != name:
+                    continue
+                if isinstance(record, ServerPrepareRecord):
+                    oids.update(record.oids)
+                elif isinstance(record, ValueUpdateRecord) and record.oid:
+                    oids.add(record.oid)
+                elif isinstance(record, OperationRecord):
+                    oids.update(record.oids)
+            server.library.relock_prepared(tid, tuple(sorted(oids)))
+
+        # The request loop must run before the aborts: the Recovery
+        # Manager's undo instructions arrive on the new port.
+        server.start()
+
+        # Everything else this server had joined lost its locks: abort.
+        for tid in self.tm.transactions_with_server(name):
+            reply_port = Port(self.ctx, node=self.node, name="sr-abort")
+            self.node.service("transaction_manager").send(Message(
+                op="tm.abort",
+                body={"tid": tid,
+                      "reason": f"data server {name!r} failed"},
+                reply_to=reply_port))
+            yield reply_port.receive()
+
+        yield from server.on_recovered()
+        return server
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def component_inventory(self) -> dict[str, str]:
+        """The Figure 3-1 component map, programmatically."""
+        inventory = {
+            "name_server": "name dissemination",
+            "communication_manager": "network communication",
+            "recovery_manager": "recovery and log management",
+            "transaction_manager": "transaction management",
+        }
+        for name in self.servers:
+            inventory[name] = "data server"
+        return inventory

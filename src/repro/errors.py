@@ -1,0 +1,111 @@
+"""Exception hierarchy for the TABS reproduction.
+
+Every error raised by the library derives from :class:`TabsError` so callers
+can catch library failures without catching programming errors.  The leaf
+classes mirror the failure modes discussed in the paper: lock time-outs
+(Section 2.1.3 -- "TABS ... relies on time-outs"), transaction aborts
+(Table 3-2's ``TransactionIsAborted`` exception), node crashes, and
+communication failures detected by the Communication Manager.
+"""
+
+from __future__ import annotations
+
+
+class TabsError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(TabsError):
+    """The discrete-event simulation was driven incorrectly."""
+
+
+class Interrupt(TabsError):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(TabsError):
+    """A simulated process was killed (e.g. its node crashed)."""
+
+
+class KernelError(TabsError):
+    """Misuse of the simulated Accent kernel."""
+
+
+class NodeDown(KernelError):
+    """An operation referenced a node that has crashed."""
+
+
+class InvalidPort(KernelError):
+    """A message was sent to a dead or unknown port."""
+
+
+class PageFault(KernelError):
+    """Internal signal: a referenced page is not resident."""
+
+
+class CommunicationError(TabsError):
+    """The Communication Manager detected a permanent failure."""
+
+
+class SessionBroken(CommunicationError):
+    """A session peer crashed or became unreachable."""
+
+
+class LookupFailed(TabsError):
+    """The Name Server could not resolve a name anywhere on the network."""
+
+
+class TransactionError(TabsError):
+    """Base class for transaction-management errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (Table 3-2's ``TransactionIsAborted``).
+
+    Raised in an application or data-server coroutine when it touches a
+    transaction that some other party has aborted, or when its own operation
+    caused the abort (e.g. a lock time-out).
+    """
+
+    def __init__(self, tid: object, reason: str = ""):
+        super().__init__(tid, reason)
+        self.tid = tid
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"transaction {self.tid} aborted: {self.reason or 'unknown reason'}"
+
+
+class LockTimeout(TransactionError):
+    """A lock request waited longer than the user-set time-out."""
+
+
+class InvalidTransaction(TransactionError):
+    """An unknown or already-terminated transaction id was supplied."""
+
+
+class WriteAheadLogError(TabsError):
+    """The write-ahead log was driven incorrectly."""
+
+
+class LogFull(WriteAheadLogError):
+    """The non-volatile log ran out of space and reclamation failed."""
+
+
+class RecoveryError(TabsError):
+    """Crash recovery encountered an inconsistency."""
+
+
+class ServerError(TabsError):
+    """A data server rejected or failed an operation."""
+
+
+class QuorumUnavailable(TabsError):
+    """Weighted voting could not assemble a read or write quorum."""

@@ -1,0 +1,128 @@
+"""The simulated Perq disk.
+
+Pages are 512 bytes (Section 5.1).  Each sector has header space in which
+the kernel atomically writes a sequence number alongside the page data --
+the mechanism TABS added to Accent for the operation-logging recovery
+algorithm (Section 3.2.1; the real counter was 39 bits wide).
+
+Latency model (Table 5-1): random reads and writes cost the same combined
+``RANDOM_PAGED_IO`` time; reads of consecutively increasing page numbers in
+one segment cost the cheaper ``SEQUENTIAL_READ``.  Sequential *writes* never
+occur on the paper's single-disk Perqs because log writes break up seek
+locality, so all writes are charged at the random rate.
+
+Disk contents are non-volatile: they survive :meth:`Node.crash`.  Following
+the paper ("we do not consider disk failures in this work"), media failure
+is not modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.kernel.context import SimContext
+from repro.kernel.costs import Primitive
+from repro.sim import Timeout
+
+#: Bytes per page/sector (Section 5.1: "Pages are 512 bytes").
+PAGE_SIZE = 512
+
+#: The sequence-number header is 39 bits wide in TABS.
+SEQUENCE_NUMBER_BITS = 39
+MAX_SEQUENCE_NUMBER = (1 << SEQUENCE_NUMBER_BITS) - 1
+
+PageKey = tuple[str, int]
+
+
+class Disk:
+    """Non-volatile page storage with sector-header sequence numbers."""
+
+    def __init__(self, ctx: SimContext, name: str = "disk") -> None:
+        self.ctx = ctx
+        self.name = name
+        #: page contents: (segment_id, page_number) -> {offset: value}
+        self._pages: dict[PageKey, dict[int, object]] = {}
+        #: sector-header sequence numbers
+        self._headers: dict[PageKey, int] = {}
+        #: last page read per segment, for sequential-read detection
+        self._last_read: dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_page(self, segment_id: str, page: int) -> Iterator[Timeout]:
+        """Read one page (generator; yields the I/O latency).
+
+        Returns a *copy* of the stored page dictionary so in-memory frames
+        never alias the non-volatile image.
+        """
+        sequential = self._last_read.get(segment_id) == page - 1
+        self._last_read[segment_id] = page
+        primitive = (Primitive.SEQUENTIAL_READ if sequential
+                     else Primitive.RANDOM_PAGED_IO)
+        yield self.ctx.charge(primitive)
+        self.reads += 1
+        return dict(self._pages.get((segment_id, page), {}))
+
+    def write_page(self, segment_id: str, page: int,
+                   data: dict[int, object],
+                   sequence_number: int | None = None) -> Iterator[Timeout]:
+        """Write one page and, atomically, its header sequence number."""
+        yield self.ctx.charge(Primitive.RANDOM_PAGED_IO)
+        self._pages[(segment_id, page)] = dict(data)
+        if sequence_number is not None:
+            self._headers[(segment_id, page)] = (
+                sequence_number & MAX_SEQUENCE_NUMBER)
+        self.writes += 1
+        # A write moves the arm; the next read of any page is non-sequential
+        # unless it happens to follow this page.
+        self._last_read = {segment_id: page}
+
+    def read_sequence_number(self, segment_id: str, page: int) -> int:
+        """The sector-header sequence number (0 if never written).
+
+        Used by the Recovery Manager during operation-logging crash recovery
+        to decide whether a logged operation's effect reached the disk.
+        Reading only the header is folded into recovery's page read costs,
+        so no separate primitive is charged.
+        """
+        return self._headers.get((segment_id, page), 0)
+
+    def peek_page(self, segment_id: str, page: int) -> dict[int, object]:
+        """Inspect the non-volatile image without cost (tests/diagnostics)."""
+        return dict(self._pages.get((segment_id, page), {}))
+
+    # -- media failure / archive support ---------------------------------------
+
+    def pages_of_segment(self, segment_id: str) -> dict[int, dict]:
+        """Snapshot every written page of a segment (for archive dumps)."""
+        return {page: dict(data)
+                for (seg, page), data in self._pages.items()
+                if seg == segment_id}
+
+    def headers_of_segment(self, segment_id: str) -> dict[int, int]:
+        return {page: header
+                for (seg, page), header in self._headers.items()
+                if seg == segment_id}
+
+    def wipe_segment(self, segment_id: str) -> int:
+        """Media failure: the segment's pages (and headers) are destroyed.
+
+        Returns the number of pages lost.  The paper excludes disk failure
+        from its scope; this hook supports the media-recovery extension
+        its Conclusions ask for.
+        """
+        lost = [key for key in self._pages if key[0] == segment_id]
+        for key in lost:
+            del self._pages[key]
+        for key in [key for key in self._headers if key[0] == segment_id]:
+            del self._headers[key]
+        self._last_read.pop(segment_id, None)
+        return len(lost)
+
+    def restore_segment(self, segment_id: str, pages: dict[int, dict],
+                        headers: dict[int, int]) -> None:
+        """Install archived pages (media recovery's first step)."""
+        for page, data in pages.items():
+            self._pages[(segment_id, page)] = dict(data)
+        for page, header in headers.items():
+            self._headers[(segment_id, page)] = header

@@ -1,0 +1,83 @@
+"""Typed messages, in the style of Accent.
+
+Accent messages are arbitrarily long vectors of typed information addressed
+to ports; large messages travel by copy-on-write remapping.  The paper's
+cost model distinguishes three local message classes (Section 5.1):
+
+- *small contiguous* -- less than 500 bytes (typically < 100),
+- *large contiguous* -- about 1100 bytes on average,
+- *pointer* -- a pointer to data transferred by copy-on-write remapping.
+
+:func:`classify_size` applies the paper's thresholds.  A message may also
+carry a transaction identifier; Communication Managers scan it to build the
+two-phase-commit spanning tree (Section 3.2.4), exactly as in TABS.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.kernel.costs import Primitive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.ports import Port
+
+#: Messages strictly smaller than this many bytes are "small contiguous".
+SMALL_MESSAGE_LIMIT = 500
+
+_message_ids = itertools.count(1)
+
+
+class MessageKind(enum.Enum):
+    """The local message classes of the cost model."""
+
+    SMALL = "small"
+    LARGE = "large"
+    POINTER = "pointer"
+    #: Not individually charged: its cost is folded into a composite
+    #: primitive (e.g. the two halves of a Data Server Call).
+    UNCHARGED = "uncharged"
+
+    @property
+    def primitive(self) -> Primitive | None:
+        return _KIND_TO_PRIMITIVE.get(self)
+
+
+_KIND_TO_PRIMITIVE = {
+    MessageKind.SMALL: Primitive.SMALL_MESSAGE,
+    MessageKind.LARGE: Primitive.LARGE_MESSAGE,
+    MessageKind.POINTER: Primitive.POINTER_MESSAGE,
+}
+
+
+def classify_size(size_bytes: int) -> MessageKind:
+    """Classify a contiguous message by its byte size (paper thresholds)."""
+    if size_bytes < SMALL_MESSAGE_LIMIT:
+        return MessageKind.SMALL
+    return MessageKind.LARGE
+
+
+@dataclass
+class Message:
+    """One message in flight between simulated processes."""
+
+    op: str
+    body: dict = field(default_factory=dict)
+    reply_to: "Port | None" = None
+    kind: MessageKind = MessageKind.SMALL
+    #: Transaction this message acts on behalf of, if any.  Scanned by the
+    #: Communication Manager when the message crosses nodes.
+    tid: object = None
+    sender_node: str = ""
+    #: True when the reply to this request travels inside the merged
+    #: kernel/TM/RM component and must not be charged as a message
+    #: (Section 5.3's improved-architecture projection).
+    free_reply: bool = False
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Message #{self.msg_id} {self.op!r} {self.kind.value}"
+                f"{' tid=' + str(self.tid) if self.tid is not None else ''}>")

@@ -1,0 +1,105 @@
+"""The simulated workstation: one Accent node.
+
+A node owns a disk (non-volatile), a virtual-memory page cache (volatile),
+its processes, and its ports.  :meth:`Node.crash` models a Perq power
+failure: every process is killed, every port dies, and all volatile state
+is lost, while the disk (recoverable segments and the non-volatile log)
+survives.  :meth:`Node.restart` brings the node back with a new *epoch*;
+the facility layer then re-creates the TABS system processes and runs
+crash recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import NodeDown
+from repro.kernel.context import SimContext
+from repro.kernel.disk import Disk
+from repro.kernel.ports import Port
+from repro.kernel.vm import VirtualMemory
+from repro.sim import Process
+
+
+class Node:
+    """One simulated workstation."""
+
+    def __init__(self, ctx: SimContext, name: str,
+                 vm_capacity_pages: int = 1500) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.alive = True
+        #: incremented on every restart; lets peers detect reincarnation
+        self.epoch = 0
+        self.disk = Disk(ctx, name=f"{name}.disk")
+        self.vm_capacity_pages = vm_capacity_pages
+        self.vm = VirtualMemory(ctx, self.disk, vm_capacity_pages)
+        self._processes: list[Process] = []
+        self._ports: list[Port] = []
+        #: well-known local services (e.g. "transaction_manager" -> Port)
+        self.services: dict[str, Port] = {}
+
+    # -- process / port management -------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "",
+              defused: bool = False) -> Process:
+        """Start a process owned by this node (killed when the node crashes)."""
+        if not self.alive:
+            raise NodeDown(f"cannot spawn on crashed node {self.name!r}")
+        process = Process(self.ctx.engine, generator,
+                          name=f"{self.name}:{name or 'proc'}")
+        process.defused = defused
+        self._processes.append(process)
+        return process
+
+    def create_port(self, name: str = "") -> Port:
+        if not self.alive:
+            raise NodeDown(f"cannot create port on crashed node {self.name!r}")
+        return Port(self.ctx, node=self, name=f"{self.name}:{name or 'port'}")
+
+    def register_port(self, port: Port) -> None:
+        self._ports.append(port)
+
+    def register_service(self, name: str, port: Port) -> None:
+        """Publish a well-known local service port (TM, RM, CM, NS)."""
+        self.services[name] = port
+
+    def service(self, name: str) -> Port:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise NodeDown(
+                f"service {name!r} is not running on node {self.name!r}"
+            ) from None
+
+    # -- failure model --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: volatile state vanishes, the disk survives."""
+        if not self.alive:
+            return
+        self.alive = False
+        for process in self._processes:
+            process.kill(f"node {self.name} crashed")
+        self._processes.clear()
+        for port in self._ports:
+            port.destroy()
+        self._ports.clear()
+        self.services.clear()
+        self.vm.clear_volatile()
+
+    def restart(self) -> None:
+        """Power back on with empty volatile state and a new epoch.
+
+        The caller (the cluster/facility layer) must re-create the TABS
+        system processes and drive crash recovery afterwards.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.epoch += 1
+        self.vm = VirtualMemory(self.ctx, self.disk, self.vm_capacity_pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.alive else "down"
+        return f"<Node {self.name!r} {state} epoch={self.epoch}>"

@@ -1,0 +1,113 @@
+"""Ports: Accent's addressed message queues.
+
+Many processes may hold send rights to a port; exactly one holds receive
+rights.  Our ports belong to a :class:`~repro.kernel.node.Node`; when the
+node crashes, the port dies and subsequent sends are silently dropped (a
+crashed Accent node neither receives nor acknowledges anything -- senders
+discover the failure through time-outs or through the Communication
+Manager's failure detector).
+
+Sending charges the message's primitive cost as *delivery latency*: the
+message is enqueued at the receiver after the primitive time elapses, and
+the sender continues immediately, matching Accent's asynchronous sends.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidPort
+from repro.kernel.context import SimContext
+from repro.kernel.messages import Message
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.node import Node
+
+_port_ids = itertools.count(1)
+
+
+class Port:
+    """A message queue with single-receiver semantics."""
+
+    def __init__(self, ctx: SimContext, node: "Node | None" = None,
+                 name: str = "") -> None:
+        self.ctx = ctx
+        self.node = node
+        self.port_id = next(_port_ids)
+        self.name = name or f"port-{self.port_id}"
+        self.dead = False
+        self._queue: collections.deque[Message] = collections.deque()
+        self._waiters: collections.deque[Event] = collections.deque()
+        #: messages dropped because the port was dead (diagnostic)
+        self.dropped = 0
+        if node is not None:
+            node.register_port(self)
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead and (self.node is None or self.node.alive)
+
+    def send(self, message: Message, charged: bool = True) -> None:
+        """Send asynchronously; delivery after the message's primitive time.
+
+        With ``charged=False`` the message is delivered at the current
+        instant and no primitive is recorded -- used by composite primitives
+        (e.g. a Data Server Call) that account for their messages as one
+        unit, exactly as the paper's Table 5-1 does.
+        """
+        if not self.alive:
+            self.dropped += 1
+            return
+        if message.sender_node == "" and self.node is not None:
+            message.sender_node = self.node.name
+        delay = 0.0
+        if charged:
+            primitive = message.kind.primitive
+            if primitive is not None:
+                delay = self.ctx.delay_of(primitive)
+        self.ctx.engine.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        if not self.alive:
+            self.dropped += 1
+            return
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(message)
+                return
+        self._queue.append(message)
+
+    def receive(self) -> Event:
+        """An event yielding the next message (FIFO among waiters)."""
+        if not self.alive:
+            raise InvalidPort(f"receive on dead port {self.name!r}")
+        event = Event(self.ctx.engine, name=f"recv:{self.name}")
+        if self._queue:
+            event.succeed(self._queue.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_receive(self) -> Message | None:
+        """Dequeue a message if one is waiting; never blocks."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def pending(self) -> int:
+        """Messages queued but not yet received."""
+        return len(self._queue)
+
+    def destroy(self) -> None:
+        """Kill the port: drop its queue, future sends are discarded."""
+        self.dead = True
+        self._queue.clear()
+        self._waiters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "dead" if not self.alive else f"{len(self._queue)} queued"
+        return f"<Port {self.name!r} {state}>"

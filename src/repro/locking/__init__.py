@@ -1,0 +1,33 @@
+"""Transaction synchronization by locking.
+
+TABS synchronizes transactions with locks (Section 2.1.3): a transaction
+must obtain a lock on all or part of an object before accessing it, and a
+lock is granted unless another transaction holds an incompatible one.
+Servers implement locking *locally*, so they can tailor the mechanism --
+type-specific lock modes and compatibility relations give increased
+concurrency (Schwarz & Spector).
+
+Deadlock is resolved by time-outs, as in TABS ("TABS, like many other
+systems, currently relies on time-outs").  A wait-for-graph deadlock
+detector is also provided as the extension the paper cites from other
+systems (Obermarck; R*), disabled by default.
+
+- :mod:`repro.locking.modes` -- lock modes and compatibility protocols,
+- :mod:`repro.locking.manager` -- the lock manager,
+- :mod:`repro.locking.deadlock` -- the optional cycle detector.
+"""
+
+from repro.locking.deadlock import DeadlockDetector
+from repro.locking.manager import LockManager
+from repro.locking.modes import (
+    READ,
+    WRITE,
+    CompatibilityMatrix,
+    LockMode,
+    READ_WRITE_PROTOCOL,
+)
+
+__all__ = [
+    "LockManager", "LockMode", "CompatibilityMatrix", "READ", "WRITE",
+    "READ_WRITE_PROTOCOL", "DeadlockDetector",
+]

@@ -1,0 +1,195 @@
+"""The lock manager.
+
+Each data server owns one lock manager ("servers implement locking
+locally", Section 2.1.3).  Requests that cannot be granted wait in a FIFO
+queue per lock; a user-set time-out bounds the wait and resolves deadlock,
+exactly as in TABS.  All unlocking is done in bulk at commit or abort time
+by the server library (Section 3.1.1: "All unlocking is done automatically
+by the server library at commit or abort time").
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from repro.errors import LockTimeout, TabsError
+from repro.kernel.context import SimContext
+from repro.locking.modes import CompatibilityMatrix, LockMode, READ_WRITE_PROTOCOL
+from repro.sim import AnyOf, Event, Timeout
+
+#: Default lock wait bound, milliseconds.  "Time-outs ... are explicitly set
+#: by system users"; benchmarks never wait, so the default only matters for
+#: genuinely conflicting workloads.
+DEFAULT_LOCK_TIMEOUT_MS = 10_000.0
+
+
+@dataclass
+class _Waiter:
+    tid: Hashable
+    mode: LockMode
+    event: Event
+
+
+@dataclass
+class _LockEntry:
+    #: granted modes: tid -> multiset of modes (a tid may hold READ twice)
+    holders: dict[Hashable, list[LockMode]] = field(default_factory=dict)
+    queue: collections.deque = field(default_factory=collections.deque)
+
+
+class LockManager:
+    """Per-server lock table with FIFO waiting and time-outs."""
+
+    def __init__(self, ctx: SimContext,
+                 protocol: CompatibilityMatrix = READ_WRITE_PROTOCOL,
+                 default_timeout_ms: float = DEFAULT_LOCK_TIMEOUT_MS) -> None:
+        self.ctx = ctx
+        self.protocol = protocol
+        self.default_timeout_ms = default_timeout_ms
+        self._locks: dict[Hashable, _LockEntry] = {}
+        self.timeouts = 0
+        self.waits = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_locked(self, key: Hashable) -> bool:
+        """Table 3-1's ``IsObjectLocked``: is any lock set on ``key``?"""
+        entry = self._locks.get(key)
+        return bool(entry and entry.holders)
+
+    def holds(self, tid: Hashable, key: Hashable,
+              mode: LockMode | None = None) -> bool:
+        entry = self._locks.get(key)
+        if not entry or tid not in entry.holders:
+            return False
+        if mode is None:
+            return True
+        return any(self.protocol.covers(held, mode)
+                   for held in entry.holders[tid])
+
+    def held_keys(self, tid: Hashable) -> list[Hashable]:
+        return [key for key, entry in self._locks.items()
+                if tid in entry.holders]
+
+    def waiting_for(self, tid: Hashable) -> set[Hashable]:
+        """Transactions that ``tid`` is currently queued behind (for the
+        optional deadlock detector)."""
+        blockers: set[Hashable] = set()
+        for entry in self._locks.values():
+            for waiter in entry.queue:
+                if waiter.tid == tid:
+                    blockers.update(h for h in entry.holders if h != tid)
+        return blockers
+
+    # -- acquisition -------------------------------------------------------------
+
+    def _grantable(self, entry: _LockEntry, tid: Hashable,
+                   mode: LockMode) -> bool:
+        return all(
+            holder == tid or
+            all(self.protocol.compatible(held, mode)
+                for held in held_modes)
+            for holder, held_modes in entry.holders.items())
+
+    def _grant(self, entry: _LockEntry, tid: Hashable, mode: LockMode) -> None:
+        entry.holders.setdefault(tid, []).append(mode)
+
+    def try_lock(self, tid: Hashable, key: Hashable, mode: LockMode) -> bool:
+        """``ConditionallyLockObject``: acquire or return False immediately."""
+        self.protocol.check_mode(mode)
+        entry = self._locks.setdefault(key, _LockEntry())
+        if self.holds(tid, key, mode):
+            return True  # already covered (e.g. WRITE held, READ requested)
+        # FIFO fairness: do not jump a non-empty queue unless already holding.
+        if entry.queue and tid not in entry.holders:
+            return False
+        if self._grantable(entry, tid, mode):
+            self._grant(entry, tid, mode)
+            return True
+        return False
+
+    def lock(self, tid: Hashable, key: Hashable, mode: LockMode,
+             timeout_ms: float | None = None) -> Iterator:
+        """``LockObject``: acquire, waiting if necessary (generator).
+
+        Raises :class:`LockTimeout` when the wait exceeds the time-out --
+        the caller (server library) then aborts the transaction, which is
+        how TABS breaks deadlocks.
+        """
+        if self.try_lock(tid, key, mode):
+            return
+        self.waits += 1
+        entry = self._locks[key]
+        waiter = _Waiter(tid, mode, Event(self.ctx.engine,
+                                          name=f"lock:{key}"))
+        entry.queue.append(waiter)
+        deadline = Timeout(
+            self.ctx.engine,
+            self.default_timeout_ms if timeout_ms is None else timeout_ms)
+        which, _value = yield AnyOf(self.ctx.engine, [waiter.event, deadline])
+        if which == 1:  # the deadline fired first
+            if waiter.event.triggered:
+                return  # granted at the very instant the deadline fired
+            entry.queue.remove(waiter)
+            self.timeouts += 1
+            raise LockTimeout(
+                f"transaction {tid} timed out waiting for {mode} on {key!r} "
+                f"(holders: {list(entry.holders)})")
+
+    # -- release ---------------------------------------------------------------
+
+    def release_all(self, tid: Hashable) -> list[Hashable]:
+        """Drop every lock held by ``tid`` (commit/abort); wake waiters.
+
+        Returns the keys that were released.
+        """
+        released = []
+        for key, entry in list(self._locks.items()):
+            if entry.holders.pop(tid, None) is not None:
+                released.append(key)
+            self._wake(entry)
+            if not entry.holders and not entry.queue:
+                del self._locks[key]
+        return released
+
+    def release(self, tid: Hashable, key: Hashable) -> None:
+        """Early release of one lock (used by non-serializable servers)."""
+        entry = self._locks.get(key)
+        if not entry or tid not in entry.holders:
+            raise TabsError(f"{tid} does not hold a lock on {key!r}")
+        del entry.holders[tid]
+        self._wake(entry)
+        if not entry.holders and not entry.queue:
+            del self._locks[key]
+
+    def transfer(self, from_tid: Hashable, to_tid: Hashable) -> None:
+        """Move every lock held by ``from_tid`` to ``to_tid``.
+
+        Used when a subtransaction commits: its parent inherits the locks,
+        which remain held until the top-level transaction finishes.
+        """
+        for entry in self._locks.values():
+            modes = entry.holders.pop(from_tid, None)
+            if modes is not None:
+                entry.holders.setdefault(to_tid, []).extend(modes)
+
+    def _wake(self, entry: _LockEntry) -> None:
+        """Grant from the head of the queue while compatible (FIFO)."""
+        while entry.queue:
+            waiter = entry.queue[0]
+            if waiter.event.triggered:
+                entry.queue.popleft()  # stale: its transaction timed out
+                continue
+            if not self._grantable(entry, waiter.tid, waiter.mode):
+                break
+            entry.queue.popleft()
+            self._grant(entry, waiter.tid, waiter.mode)
+            waiter.event.succeed()
+
+    # -- crash ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Volatile state: a node crash empties the lock table."""
+        self._locks.clear()

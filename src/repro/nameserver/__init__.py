@@ -1,0 +1,17 @@
+"""Name dissemination.
+
+The abstractions represented by data servers are permanent entities that
+must persist despite node failures, even though the ports through which
+they are accessed change (Section 3.1.3).  The Name Server on each node
+maps names to one or more <port, logical object identifier> pairs; unknown
+names are resolved by broadcasting a lookup request to all other Name
+Servers (Section 3.2.5).
+
+- :mod:`repro.nameserver.server` -- the Name Server process,
+- :mod:`repro.nameserver.library` -- the client library (Table 3-3).
+"""
+
+from repro.nameserver.library import NameServerLibrary
+from repro.nameserver.server import NameServer
+
+__all__ = ["NameServer", "NameServerLibrary"]

@@ -1,0 +1,172 @@
+"""The predicted-latency model and the paper's published numbers.
+
+"The pre-commit latency of a transaction that is due to the execution of
+primitive operations is a sum of the primitive operation times weighted by
+the numbers of primitive operations performed" (Section 5.1); commit adds
+the longest path through the commit protocol (Table 5-3).
+
+This module carries the paper's published counts and times as data, so the
+benchmark harness can print *paper versus reproduction* side by side.
+Cells that are ambiguous in the scanned source (column drift in the
+multi-node write rows of Tables 5-2/5-3) are marked ``None`` and flagged
+in EXPERIMENTS.md rather than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.costs import CostProfile, Primitive
+from repro.perf.benchmarks import BenchmarkResult
+
+P = Primitive
+
+
+def predicted_time(counts: dict[Primitive, float],
+                   profile: CostProfile) -> float:
+    """Σ count(p) × time(p): the System Time Predicted by Primitives."""
+    return sum(count * profile.time_of(primitive)
+               for primitive, count in counts.items())
+
+
+def predicted_time_of_result(result: BenchmarkResult,
+                             profile: CostProfile) -> float:
+    """Predicted time from a benchmark's *measured* primitive counts."""
+    combined: dict[Primitive, float] = dict(result.precommit_counts)
+    for primitive, count in result.commit_counts.items():
+        combined[primitive] = combined.get(primitive, 0.0) + count
+    return predicted_time(combined, profile)
+
+
+# ---------------------------------------------------------------------------
+# Paper data: Table 5-2 (pre-commit primitive counts)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PaperPrecommitRow:
+    ds_calls: float = 0
+    remote_ds_calls: float = 0
+    small: float = 0
+    large: float = 0
+    sequential_reads: float | None = 0
+    random_page_io: float | None = 0
+
+
+PAPER_TABLE_5_2: dict[str, PaperPrecommitRow] = {
+    "r1": PaperPrecommitRow(ds_calls=1, small=4),
+    "r5": PaperPrecommitRow(ds_calls=5, small=4),
+    "r1_seq": PaperPrecommitRow(ds_calls=1, small=4, sequential_reads=1),
+    "r1_rand": PaperPrecommitRow(ds_calls=1, small=4, random_page_io=0.86),
+    "w1": PaperPrecommitRow(ds_calls=1, small=6, large=1),
+    "w5": PaperPrecommitRow(ds_calls=5, small=14, large=5),
+    # Paging-write and multi-node paging cells suffer column drift in the
+    # scan; page-I/O entries marked None are reproduced by measurement only.
+    "w1_seq": PaperPrecommitRow(ds_calls=1, small=10, large=1,
+                                sequential_reads=1, random_page_io=None),
+    "r1r1": PaperPrecommitRow(ds_calls=1, remote_ds_calls=1, small=8),
+    "r1r5": PaperPrecommitRow(ds_calls=1, remote_ds_calls=5, small=8),
+    "r1r1_seq": PaperPrecommitRow(ds_calls=1, remote_ds_calls=1, small=8,
+                                  sequential_reads=None),
+    "w1w1": PaperPrecommitRow(ds_calls=1, remote_ds_calls=1, small=12,
+                              large=2),
+    "w1w1_seq": PaperPrecommitRow(ds_calls=1, remote_ds_calls=1, small=20,
+                                  large=2, sequential_reads=None,
+                                  random_page_io=None),
+    "r1r1r1": PaperPrecommitRow(ds_calls=1, remote_ds_calls=2, small=11,
+                                large=1),
+    "w1w1w1": PaperPrecommitRow(ds_calls=1, remote_ds_calls=2, small=17,
+                                large=3),
+}
+
+
+# ---------------------------------------------------------------------------
+# Paper data: Table 5-3 (commit primitive counts on the longest path)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PaperCommitRow:
+    datagrams: float = 0
+    small: float = 0
+    large: float | None = 0
+    pointer: float | None = 0
+    stable_writes: float = 0
+
+
+PAPER_TABLE_5_3: dict[str, PaperCommitRow] = {
+    "1_node_read": PaperCommitRow(small=5),
+    "1_node_write": PaperCommitRow(small=8, large=1, stable_writes=1),
+    "2_node_read": PaperCommitRow(datagrams=2, small=11, pointer=1),
+    # The 2/3-node write rows are partially illegible in the source scan;
+    # the small/datagram/stable cells below are the best consistent reading
+    # and the large/pointer cells are left unknown.
+    "2_node_write": PaperCommitRow(datagrams=4, small=17, large=None,
+                                   pointer=None, stable_writes=1),
+    "3_node_read": PaperCommitRow(datagrams=2.5, small=11, pointer=1),
+    "3_node_write": PaperCommitRow(datagrams=5, small=17, large=None,
+                                   pointer=None, stable_writes=1),
+}
+
+#: which commit-protocol row each benchmark uses
+COMMIT_PROTOCOL_OF: dict[str, str] = {
+    "r1": "1_node_read", "r5": "1_node_read", "r1_seq": "1_node_read",
+    "r1_rand": "1_node_read",
+    "w1": "1_node_write", "w5": "1_node_write", "w1_seq": "1_node_write",
+    "r1r1": "2_node_read", "r1r5": "2_node_read", "r1r1_seq": "2_node_read",
+    "w1w1": "2_node_write", "w1w1_seq": "2_node_write",
+    "r1r1r1": "3_node_read", "w1w1w1": "3_node_write",
+}
+
+
+# ---------------------------------------------------------------------------
+# Paper data: Table 5-4 (benchmark times, milliseconds)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PaperBenchmarkTimes:
+    predicted: float
+    tabs_process: float
+    elapsed: float
+    improved_architecture: float
+    new_primitive_times: float
+
+
+PAPER_TABLE_5_4: dict[str, PaperBenchmarkTimes] = {
+    "r1": PaperBenchmarkTimes(53, 41, 110, 107, 67),
+    "r5": PaperBenchmarkTimes(157, 41, 217, 213, 80),
+    "r1_seq": PaperBenchmarkTimes(71, 41, 126, 123, 75),
+    "r1_rand": PaperBenchmarkTimes(81, 41, 140, 137, 98),
+    "w1": PaperBenchmarkTimes(156, 83, 247, 228, 136),
+    "w5": PaperBenchmarkTimes(302, 119, 467, 424, 225),
+    "w1_seq": PaperBenchmarkTimes(232, 104, 371, 345, 249),
+    "r1r1": PaperBenchmarkTimes(306, 223, 469, 459, 228),
+    "r1r5": PaperBenchmarkTimes(662, 368, 829, 819, 268),
+    "r1r1_seq": PaperBenchmarkTimes(341, 226, 514, 504, 257),
+    "w1w1": PaperBenchmarkTimes(697, 407, 989, 775, 442),
+    "w1w1_seq": PaperBenchmarkTimes(864, 441, 1125, 873, 539),
+    "r1r1r1": PaperBenchmarkTimes(416, 381, 621, 611, 282),
+    "w1w1w1": PaperBenchmarkTimes(831, 670, 1200, 968, 534),
+}
+
+
+def paper_predicted_time(key: str, profile: CostProfile) -> float | None:
+    """Predicted time from the *paper's* published counts (where legible)."""
+    pre = PAPER_TABLE_5_2.get(key)
+    commit = PAPER_TABLE_5_3.get(COMMIT_PROTOCOL_OF.get(key, ""))
+    if pre is None or commit is None:
+        return None
+    cells = [
+        (pre.ds_calls, P.DATA_SERVER_CALL),
+        (pre.remote_ds_calls, P.INTER_NODE_DATA_SERVER_CALL),
+        (pre.small + commit.small, P.SMALL_MESSAGE),
+        (pre.large, P.LARGE_MESSAGE),
+        (pre.sequential_reads, P.SEQUENTIAL_READ),
+        (pre.random_page_io, P.RANDOM_PAGED_IO),
+        (commit.datagrams, P.DATAGRAM),
+        (commit.large, P.LARGE_MESSAGE),
+        (commit.pointer, P.POINTER_MESSAGE),
+        (commit.stable_writes, P.STABLE_STORAGE_WRITE),
+    ]
+    if any(count is None for count, _ in cells):
+        return None
+    return sum(count * profile.time_of(primitive)
+               for count, primitive in cells)

@@ -1,0 +1,66 @@
+"""Table 5-4's four columns: measured, predicted, and two projections.
+
+- **System Time Predicted by Primitives**: the analytic sum over the
+  benchmark's primitive counts.
+- **Measured Elapsed Time**: the simulated no-load latency under the
+  measured-1985 profile with the four TABS processes separate.
+- **Improved TABS Architecture**: Recovery and Transaction Managers merged
+  into the kernel; intra-kernel messages free, prepare piggybacking, and
+  distributed phase two overlapped with succeeding transactions.
+- **New Primitive Times**: the improved architecture running on Table 5-5's
+  achievable primitive times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TabsConfig
+from repro.perf.benchmarks import (
+    BENCHMARKS,
+    BenchmarkResult,
+    BenchmarkSpec,
+    run_benchmark,
+)
+from repro.perf.model import predicted_time_of_result
+
+
+@dataclass
+class Table54Row:
+    spec: BenchmarkSpec
+    predicted_ms: float
+    tabs_process_ms: float
+    elapsed_ms: float
+    improved_ms: float
+    new_primitives_ms: float
+    measured: BenchmarkResult
+
+
+def run_table_5_4_row(spec: BenchmarkSpec,
+                      iterations: int = 20) -> Table54Row:
+    """All four columns for one benchmark."""
+    measured = run_benchmark(spec, TabsConfig.measured(),
+                             iterations=iterations)
+    improved = run_benchmark(spec, TabsConfig.improved_architecture(),
+                             iterations=iterations)
+    new_primitives = run_benchmark(spec, TabsConfig.new_primitives(),
+                                   iterations=iterations)
+    return Table54Row(
+        spec=spec,
+        predicted_ms=predicted_time_of_result(measured,
+                                              measured.config.profile),
+        tabs_process_ms=measured.tabs_process_ms,
+        elapsed_ms=measured.elapsed_ms,
+        improved_ms=improved.elapsed_ms,
+        new_primitives_ms=new_primitives.elapsed_ms,
+        measured=measured,
+    )
+
+
+def run_table_5_4(keys: list[str] | None = None,
+                  iterations: int = 20) -> list[Table54Row]:
+    """Regenerate Table 5-4 (all benchmarks, or a named subset)."""
+    specs = BENCHMARKS if keys is None else [
+        spec for spec in BENCHMARKS if spec.key in keys]
+    return [run_table_5_4_row(spec, iterations=iterations)
+            for spec in specs]

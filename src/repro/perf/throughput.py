@@ -1,0 +1,97 @@
+"""Throughput measurement -- the Section 7 future-work methodology.
+
+The paper's microscopic analysis predicts *latency* under no load and
+explicitly defers throughput ("we would like to develop a performance
+methodology for measuring and predicting throughput").  This module adds
+the measuring half: N concurrent applications run update transactions
+against one node for a fixed window of simulated time, and the harness
+reports committed transactions per second.
+
+Two workload shapes expose the first-order effect:
+
+- **disjoint**: every application writes its own cell.  Nothing conflicts;
+  throughput scales with concurrency (the simulation does not model CPU
+  contention between processes, so this is the lock-limited ideal).
+- **shared**: every application writes the same cell.  Two-phase locking
+  serializes the writers; added concurrency buys nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig
+from repro.servers.int_array import IntegerArrayServer
+from repro.sim import Timeout
+
+
+@dataclass
+class ThroughputResult:
+    concurrency: int
+    workload: str
+    duration_ms: float
+    committed: int
+    aborted: int
+
+    @property
+    def commits_per_second(self) -> float:
+        return self.committed / (self.duration_ms / 1000.0)
+
+
+def run_throughput(concurrency: int, workload: str = "disjoint",
+                   duration_ms: float = 60_000.0,
+                   config: TabsConfig | None = None) -> ThroughputResult:
+    """Measure committed transactions/second at a given concurrency."""
+    if workload not in ("disjoint", "shared"):
+        raise ValueError(f"unknown workload {workload!r}")
+    cluster = TabsCluster(config or TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    cluster.start()
+
+    committed = [0]
+    aborted = [0]
+    deadline = cluster.engine.now + duration_ms
+
+    def worker(index: int):
+        app = cluster.application("n1")
+        ref = yield from app.lookup_one("array")
+        cell = 1 if workload == "shared" else index + 1
+        iteration = 0
+        while cluster.engine.now < deadline:
+            iteration += 1
+            tid = yield from app.begin_transaction()
+            try:
+                yield from app.call(ref, "set_cell",
+                                    {"cell": cell, "value": iteration},
+                                    tid)
+            except Exception:
+                yield from app.abort_transaction(tid)
+                aborted[0] += 1
+                continue
+            ok = yield from app.end_transaction(tid)
+            if ok and cluster.engine.now <= deadline:
+                committed[0] += 1
+            elif not ok:
+                aborted[0] += 1
+
+    workers = [cluster.spawn_on("n1", worker(index), name=f"app{index}")
+               for index in range(concurrency)]
+
+    def sentinel():
+        # Keeps time advancing even if every worker blocks on a lock.
+        yield Timeout(cluster.engine, duration_ms)
+
+    cluster.spawn_on("n1", sentinel(), name="sentinel")
+    for process in workers:
+        cluster.engine.run_until(process)
+    return ThroughputResult(concurrency=concurrency, workload=workload,
+                            duration_ms=duration_ms,
+                            committed=committed[0], aborted=aborted[0])
+
+
+def throughput_sweep(concurrencies: list[int], workload: str,
+                     duration_ms: float = 60_000.0) -> list[ThroughputResult]:
+    return [run_throughput(concurrency, workload, duration_ms)
+            for concurrency in concurrencies]

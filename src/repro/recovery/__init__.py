@@ -1,0 +1,24 @@
+"""Recovery management.
+
+The Recovery Manager coordinates all access to the common log
+(Section 3.2.2): it spools records on behalf of data servers, the
+Transaction Manager, and the kernel; it gates page write-backs behind the
+write-ahead-log invariant; it drives abort processing by following a
+transaction's backward chain; it takes checkpoints and reclaims log space;
+and after a crash it scans the log and restores recoverable segments so
+that they "reflect only the operations of committed and prepared
+transactions".
+
+Both of the paper's recovery algorithms are implemented and co-exist over
+one common log: value logging (single backward pass,
+:mod:`repro.recovery.value_recovery`) and operation logging (three passes,
+:mod:`repro.recovery.operation_recovery`).
+"""
+
+from repro.recovery.manager import (
+    RecoveryManager,
+    RecoveryManagerClient,
+    RmPagerClient,
+)
+
+__all__ = ["RecoveryManager", "RecoveryManagerClient", "RmPagerClient"]

@@ -1,0 +1,138 @@
+"""Crash-recovery analysis: one forward read of the durable log.
+
+Produces a :class:`RecoveryPlan`: the durable records, the most recent
+checkpoint, every transaction's resolved outcome (following subtransaction
+merge records), the set of in-doubt (prepared) transactions with their
+coordinators, and committed coordinator transactions whose phase two may
+not have completed (no end record).
+
+Outcome resolution implements the paper's rule that recovered segments
+"reflect only the operations of committed and prepared transactions": a
+transaction with no terminal status record and no merge into a surviving
+parent was active at the crash and is a *loser*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.txn.ids import TransactionID
+from repro.wal.records import (
+    CheckpointRecord,
+    LogRecord,
+    TransactionStatusRecord,
+    TxnStatus,
+)
+
+
+class Outcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    #: in doubt: redo its effects, re-acquire its locks, and resolve with
+    #: the coordinator
+    PREPARED = "prepared"
+    #: active at the crash: undo its effects
+    LOSER = "loser"
+
+    @property
+    def winner(self) -> bool:
+        """Winners' effects must survive recovery."""
+        return self in (Outcome.COMMITTED, Outcome.PREPARED)
+
+
+@dataclass
+class RecoveryPlan:
+    records: list[LogRecord] = field(default_factory=list)
+    checkpoint: CheckpointRecord | None = None
+    #: latest explicit terminal/prepared status per transaction
+    statuses: dict[TransactionID, TxnStatus] = field(default_factory=dict)
+    #: subtransaction -> parent it merged into
+    merges: dict[TransactionID, TransactionID] = field(default_factory=dict)
+    #: in-doubt transactions: tid -> the PREPARED status record
+    prepared: dict[TransactionID, TransactionStatusRecord] = field(
+        default_factory=dict)
+    #: committed coordinator transactions lacking an end record
+    committed_unacked: dict[TransactionID, TransactionStatusRecord] = field(
+        default_factory=dict)
+    #: transactions with an ABORTED record (undo may be incomplete)
+    aborted: set[TransactionID] = field(default_factory=set)
+
+    def resolve(self, tid: TransactionID) -> Outcome:
+        """The recovery outcome for ``tid``, following merges upward."""
+        seen: set[TransactionID] = set()
+        current = tid
+        while True:
+            if current in seen:  # pragma: no cover - defensive
+                return Outcome.LOSER
+            seen.add(current)
+            status = self.statuses.get(current)
+            if status is TxnStatus.COMMITTED:
+                return Outcome.COMMITTED
+            if status is TxnStatus.ABORTED:
+                return Outcome.ABORTED
+            if current in self.merges:
+                current = self.merges[current]
+                continue
+            if status is TxnStatus.PREPARED:
+                return Outcome.PREPARED
+            return Outcome.LOSER
+
+    def scan_bound(self) -> int:
+        """The LSN at which backward scans may stop.
+
+        Records older than the bound are fully reflected in non-volatile
+        storage for every object not touched since, so the value-logging
+        pass never needs them.  Without a checkpoint the bound is the log's
+        beginning.
+        """
+        if self.checkpoint is None:
+            return 0
+        bounds = [self.checkpoint.lsn]
+        bounds.extend(self.checkpoint.dirty_pages.values())
+        # Transactions active at checkpoint time may have older records;
+        # conservatively rescan from the checkpoint itself, whose dirty-page
+        # map already covers every page they touched.
+        return min(bounds)
+
+
+#: statuses that override an earlier PREPARED
+_TERMINAL = (TxnStatus.COMMITTED, TxnStatus.ABORTED)
+
+
+def analyze(records: list[LogRecord]) -> RecoveryPlan:
+    """Build the recovery plan from the durable log (forward order)."""
+    plan = RecoveryPlan(records=list(records))
+    ended: set[TransactionID] = set()
+    for record in records:
+        if isinstance(record, CheckpointRecord):
+            plan.checkpoint = record
+            continue
+        if not isinstance(record, TransactionStatusRecord):
+            continue
+        tid = record.tid
+        if record.status is TxnStatus.MERGED:
+            plan.merges[tid] = record.merged_into
+            plan.statuses.pop(tid, None)  # a merge supersedes PREPARED
+            continue
+        if record.status in _TERMINAL:
+            plan.statuses[tid] = record.status
+            plan.prepared.pop(tid, None)
+            if record.status is TxnStatus.COMMITTED:
+                plan.committed_unacked[tid] = record
+            else:
+                plan.aborted.add(tid)
+                plan.committed_unacked.pop(tid, None)
+        elif record.status is TxnStatus.PREPARED:
+            if plan.statuses.get(tid) not in _TERMINAL:
+                plan.statuses[tid] = TxnStatus.PREPARED
+                plan.prepared[tid] = record
+        elif record.status is TxnStatus.ENDED:
+            ended.add(tid)
+    for tid in ended:
+        plan.committed_unacked.pop(tid, None)
+    # Committed leaf participants (no children) have no phase two to redrive.
+    plan.committed_unacked = {
+        tid: record for tid, record in plan.committed_unacked.items()
+        if record.children}
+    return plan

@@ -1,0 +1,65 @@
+"""Off-line archive dumps and media recovery.
+
+The paper's storage model (Section 2.1.3): "To reduce the cost of
+recovering from disk failures, systems infrequently dump the contents of
+non-volatile storage into an off-line archive."  TABS itself skipped this
+("we do not consider disk failures in this work") and its Conclusions list
+media recovery as needed work; this module supplies it.
+
+An :class:`Archive` holds page images of every attached segment as of the
+dump, plus the log position (``archive_lsn``) up to which the dump is
+complete.  Media recovery after a disk failure restores the archived
+pages, then replays the log *from the archive position* -- not from the
+last checkpoint, whose bound assumes the non-volatile image survived.
+Log reclamation respects the archive: records newer than ``archive_lsn``
+must be retained or the archive could never be rolled forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RecoveryError
+from repro.kernel.disk import Disk
+
+
+@dataclass
+class Archive:
+    """One node's off-line archive (survives both crashes and disk loss)."""
+
+    #: segment -> {page: data}
+    pages: dict[str, dict[int, dict]] = field(default_factory=dict)
+    #: segment -> {page: sector-header sequence number}
+    headers: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: log records at or below this LSN are fully reflected in the dump
+    archive_lsn: int = 0
+    dumps_taken: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.dumps_taken == 0
+
+    def dump(self, disk: Disk, segment_ids: list[str],
+             flushed_lsn: int) -> None:
+        """Copy the named segments' non-volatile images into the archive.
+
+        Caller must have forced dirty pages to disk first, so the dump at
+        ``flushed_lsn`` is transaction-consistent with the log.
+        """
+        for segment_id in segment_ids:
+            self.pages[segment_id] = disk.pages_of_segment(segment_id)
+            self.headers[segment_id] = disk.headers_of_segment(segment_id)
+        self.archive_lsn = flushed_lsn
+        self.dumps_taken += 1
+
+    def restore(self, disk: Disk, segment_ids: list[str]) -> None:
+        """Write archived images back onto a (new) disk."""
+        if self.empty:
+            raise RecoveryError(
+                "media recovery impossible: no archive dump was ever taken")
+        for segment_id in segment_ids:
+            if segment_id not in self.pages:
+                raise RecoveryError(
+                    f"segment {segment_id!r} is not in the archive")
+            disk.restore_segment(segment_id, self.pages[segment_id],
+                                 self.headers.get(segment_id, {}))

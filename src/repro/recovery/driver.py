@@ -1,0 +1,142 @@
+"""Node crash-recovery orchestration.
+
+After a crash, the facility restarts the node's TABS processes, the data
+servers re-map their segments and re-attach, and then this driver runs:
+
+1. **Analysis** over the durable log.
+2. **Value pass** (backward) restoring value-logged objects.
+3. **Operation passes** (redo history, undo losers) for operation-logged
+   objects -- both algorithms co-exist over the common log.
+4. **In-doubt restoration**: re-acquire write locks for prepared
+   transactions, rebuild their undo chains in the Recovery Manager, and
+   hand them to the Transaction Manager for coordinator resolution.
+   Coordinator-side committed-but-unacknowledged transactions get their
+   phase two re-driven.
+5. **Clean point**: flush every recovered page, checkpoint, truncate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.recovery.analysis import RecoveryPlan, analyze
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.operation_recovery import run_operation_passes
+from repro.recovery.value_recovery import run_value_pass
+from repro.txn.ids import TransactionID
+from repro.txn.manager import TransactionManager
+from repro.wal.records import (
+    OperationRecord,
+    ServerPrepareRecord,
+    ValueUpdateRecord,
+)
+
+
+@dataclass
+class RecoveryReport:
+    """What crash recovery did, for logging and tests."""
+
+    values_restored: int = 0
+    operations_redone: int = 0
+    operations_undone: int = 0
+    prepared_restored: list[TransactionID] = field(default_factory=list)
+    phase_two_redriven: list[TransactionID] = field(default_factory=list)
+    log_records_scanned: int = 0
+
+
+def _prepared_root(plan: RecoveryPlan, tid: TransactionID):
+    """The prepared transaction a record's tid resolves into, or None."""
+    current = tid
+    seen = set()
+    while current is not None and current not in seen:
+        seen.add(current)
+        if current in plan.prepared:
+            return current
+        current = plan.merges.get(current)
+    return None
+
+
+def recover_node(rm: RecoveryManager, tm: TransactionManager,
+                 server_libraries: dict, media_bound: int | None = None):
+    """Run full crash recovery for one node (generator).
+
+    ``server_libraries`` maps server name to its
+    :class:`~repro.server.library.DataServerLibrary` (already attached).
+    ``media_bound`` (media recovery) forces the value pass to replay from
+    the archive position instead of the checkpoint bound.
+    Returns a :class:`RecoveryReport`.
+    """
+    node = rm.node
+    report = RecoveryReport()
+    records = rm.wal.read_forward(rm.wal.store.truncated_before)
+    plan = analyze(records)
+    report.log_records_scanned = len(records)
+
+    # -- restore object state ------------------------------------------------
+    decided = yield from run_value_pass(node.vm, plan,
+                                        bound=media_bound)
+    report.values_restored = len(decided)
+    appliers = {name: library.recovery_applier
+                for name, library in server_libraries.items()}
+    redone, undone = yield from run_operation_passes(
+        node.vm, node.disk, plan, appliers)
+    report.operations_redone = redone
+    report.operations_undone = undone
+
+    # -- in-doubt transactions -------------------------------------------------
+    # Collect each prepared family's write sets (per server) and record
+    # chain so locks can be re-acquired and a later abort can still undo.
+    write_sets: dict[TransactionID, dict[str, set]] = {}
+    chains: dict[TransactionID, list[int]] = {}
+    for record in records:
+        if isinstance(record, ServerPrepareRecord):
+            root = _prepared_root(plan, record.tid)
+            if root is not None:
+                write_sets.setdefault(root, {}).setdefault(
+                    record.server, set()).update(record.oids)
+        elif isinstance(record, (ValueUpdateRecord, OperationRecord)):
+            root = _prepared_root(plan, record.tid)
+            if root is None:
+                continue
+            oids = ([record.oid] if isinstance(record, ValueUpdateRecord)
+                    else list(record.oids))
+            write_sets.setdefault(root, {}).setdefault(
+                record.server, set()).update(o for o in oids if o)
+            chains.setdefault(root, []).append(record.lsn)
+
+    for tid, status_record in plan.prepared.items():
+        # Rebuild the Recovery Manager's backward chain (prev_lsn relink).
+        lsns = chains.get(tid, [])
+        previous = 0
+        for lsn in lsns:
+            chained = rm.wal.record_at(lsn)
+            chained.prev_lsn = previous
+            chained.tid = tid  # the family resolves into this root
+            previous = lsn
+        if previous:
+            rm._chains[tid] = previous
+            rm._first_lsn[tid] = lsns[0]
+        # Re-acquire write locks so the in-doubt data stays restricted
+        # (two-phase commit's blocking window).
+        server_ports = {}
+        for server in status_record.servers:
+            library = server_libraries.get(server)
+            if library is None:
+                continue
+            library.relock_prepared(
+                tid, tuple(sorted(write_sets.get(tid, {}).get(server, ()))))
+            server_ports[server] = library.port
+        tm.restore_prepared(tid, status_record.coordinator,
+                            status_record.servers, server_ports,
+                            children=status_record.children)
+        report.prepared_restored.append(tid)
+
+    for tid, status_record in plan.committed_unacked.items():
+        tm.restore_committed_unacked(tid, status_record.children)
+        report.phase_two_redriven.append(tid)
+
+    # -- clean point --------------------------------------------------------------
+    yield from node.vm.flush_all()
+    yield from rm.take_checkpoint(tm.active_transactions())
+    rm.wal.store.truncate_before(rm.truncation_bound())
+    return report

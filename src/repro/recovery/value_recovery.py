@@ -1,0 +1,59 @@
+"""Value-logging crash recovery: the single backward pass.
+
+"Objects are reset to their most recently committed values during a one
+pass scan that begins at the last log record written and proceeds
+backward" (Section 2.1.3).  The first record seen for each object (i.e.
+the newest) decides its recovered value: the redo value for committed and
+prepared transactions, the undo value for aborted transactions and losers.
+Older records for the same object are skipped -- latest wins.
+
+The scan stops at the plan's bound (derived from the last checkpoint):
+anything older is already reflected in non-volatile storage for every
+object not touched since.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.vm import ObjectID, VirtualMemory
+from repro.recovery.analysis import RecoveryPlan
+from repro.wal.records import ValueUpdateRecord
+
+
+def run_value_pass(vm: VirtualMemory, plan: RecoveryPlan,
+                   bound: int | None = None):
+    """Apply the backward pass into the page cache (generator).
+
+    Returns ``{oid: outcome}`` for every object it restored.  Pages touched
+    are left dirty with their ``page_lsn`` set to the deciding record's
+    LSN, so the normal write-ahead gate pushes them to disk afterwards.
+
+    ``bound`` overrides the checkpoint-derived scan bound; media recovery
+    passes the archive position, since the checkpoint bound assumes a
+    surviving non-volatile image.
+    """
+    if bound is None:
+        bound = plan.scan_bound()
+    decided: dict[ObjectID, str] = {}
+    for record in reversed(plan.records):
+        if record.lsn < bound:
+            break
+        if not isinstance(record, ValueUpdateRecord) or record.oid is None:
+            continue
+        state = decided.get(record.oid)
+        if state == "winner":
+            continue
+        outcome = plan.resolve(record.tid)
+        if outcome.winner:
+            # The newest winner value is final -- whether it is the newest
+            # record overall, or an older committed record we reached while
+            # unwinding a loser that overwrote it.
+            yield from vm.write_object(record.oid, record.new_value)
+            decided[record.oid] = "winner"
+        else:
+            # A loser that wrote the object several times must be unwound
+            # all the way to its *oldest* old value: keep applying the old
+            # value of each successively older loser record.
+            yield from vm.write_object(record.oid, record.old_value)
+            decided[record.oid] = "loser"
+        vm.set_page_lsn(record.oid, record.lsn)
+    return decided

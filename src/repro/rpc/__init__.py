@@ -1,0 +1,13 @@
+"""Remote procedure calls (the Matchmaker equivalent).
+
+TABS reduces the programming effort of packing, unpacking, and dispatching
+messages with Matchmaker-generated stubs.  Matchmaker is a code generator;
+this package provides the equivalent runtime: :func:`repro.rpc.stubs.call`
+packs an operation into a request message, sends it to a data server's
+port, and unpacks the response -- for both intra-node and inter-node calls,
+which is the paper's usage of the term "remote procedure call".
+"""
+
+from repro.rpc.stubs import ServiceRef, call
+
+__all__ = ["ServiceRef", "call"]

@@ -1,0 +1,18 @@
+"""The server library (Table 3-1).
+
+Data servers are programmed with the aid of this library, which supplies
+shared/exclusive locking, value logging, paging control, address
+arithmetic, and a data server's role during two-phase commit
+(Section 3.1.1).  Operation logging and type-specific locking -- the
+features the paper lists as tested-but-unreleased -- are provided here as
+well, completing the programme sketched in its Conclusions.
+
+Every incoming request runs as its own lightweight coroutine; a coroutine
+switch happens only when an operation waits (for a lock, a log ack, or a
+page fault), which is precisely the monitor-style guarantee the weak queue
+server relies on (Section 4.2).
+"""
+
+from repro.server.library import DataServerLibrary, TxnLocal
+
+__all__ = ["DataServerLibrary", "TxnLocal"]

@@ -1,0 +1,20 @@
+"""The Section 4 data servers.
+
+Five data servers demonstrate the TABS prototype in use:
+
+- :mod:`repro.servers.int_array` -- the integer array server (§4.1): plain
+  two-phase read/write locking and value logging.
+- :mod:`repro.servers.weak_queue` -- the weak queue (semi-queue) server
+  (§4.2): permanent, failure atomic, *not* serializable.
+- :mod:`repro.servers.io_server` -- the I/O server (§4.3): permanent,
+  non-failure-atomic terminal output with the grey/black/struck-through
+  user model.
+- :mod:`repro.servers.btree` -- the B-tree server (§4.4) with its
+  recoverable storage allocator.
+- :mod:`repro.servers.replicated_dir` -- the replicated directory object
+  (§4.5): weighted voting over B-tree-backed directory representatives.
+"""
+
+from repro.servers.base import BaseDataServer
+
+__all__ = ["BaseDataServer"]

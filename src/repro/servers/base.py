@@ -1,0 +1,88 @@
+"""Common scaffolding for data servers.
+
+A data server owns one recoverable segment, a server-library instance, and
+a dispatch table of user operations.  Subclasses define the class
+attributes (segment size, lock protocol) and the operations; the base
+class runs the Table 3-1 startup sequence (``InitServer``,
+``ReadPermanentData``, ``RecoverServer``, ``AcceptRequests``) and registers
+the server's name.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ServerError
+from repro.locking.modes import READ_WRITE_PROTOCOL, CompatibilityMatrix
+from repro.nameserver.library import NameServerLibrary
+from repro.server.library import DataServerLibrary
+from repro.txn.ids import TransactionID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.facility import TabsNode
+
+
+class BaseDataServer:
+    """Subclass and define operations named ``op_<name>``.
+
+    An operation is a generator method ``op_foo(self, body, tid)`` returning
+    a response dict.  System messages (prepare/commit/abort/undo) are
+    handled by the server library automatically.
+    """
+
+    TYPE_NAME = "data_server"
+    SEGMENT_PAGES = 64
+    PROTOCOL: CompatibilityMatrix = READ_WRITE_PROTOCOL
+
+    def __init__(self, tabs_node: "TabsNode", name: str) -> None:
+        self.tabs_node = tabs_node
+        self.node = tabs_node.node
+        self.name = name
+        # Segment identity is stable across restarts: the disk file is the
+        # permanent entity, the serving process is not (Section 3.1.3).
+        self.segment_id = f"{tabs_node.name}:{name}"
+        self.library = DataServerLibrary(
+            self.node, name, protocol=self.PROTOCOL,
+            lock_timeout_ms=tabs_node.config.lock_timeout_ms)
+        self.names = NameServerLibrary(self.node)
+        self.base_va = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def setup(self):
+        """ReadPermanentData + RecoverServer + name registration (generator)."""
+        base_va = self.tabs_node.allocate_segment_va(self.segment_id)
+        self.base_va, _size = yield from self.library.read_permanent_data(
+            self.segment_id, self.SEGMENT_PAGES, base_va)
+        self.configure()
+        yield from self.library.recover_server()
+        yield from self.names.register(self.name, self.TYPE_NAME,
+                                       self.library.port)
+
+    def configure(self) -> None:
+        """Subclass hook: register recovery operations, build tables."""
+
+    def on_recovered(self):
+        """Subclass hook (generator): rebuild volatile state after the
+        node-level log replay -- e.g. the weak queue recomputes its tail
+        pointer from the head pointer and the InUse bits."""
+        return
+        yield  # pragma: no cover
+
+    def start(self) -> None:
+        """AcceptRequests: begin serving operations."""
+        self.library.accept_requests(self.dispatch)
+
+    def dispatch(self, op: str, body: dict, tid: TransactionID | None):
+        handler = getattr(self, "op_" + op, None)
+        if handler is None:
+            raise ServerError(f"{self.name}: unknown operation {op!r}")
+        result = yield from handler(body, tid)
+        return result
+
+    @classmethod
+    def factory(cls, name: str, **kwargs) -> Callable:
+        """A factory suitable for :meth:`TabsCluster.add_server`."""
+        def build(tabs_node: "TabsNode"):
+            return cls(tabs_node, name, **kwargs)
+        return build

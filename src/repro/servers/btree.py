@@ -1,0 +1,540 @@
+"""The B-tree server (Section 4.4).
+
+Maintains arbitrary collections of directory entries in B-trees, with the
+standard add / delete / modify / lookup operations on multi-key
+directories.  Indices on non-primary keys are separate B-trees whose
+leaves point back at the primary B-tree's entries.
+
+Two pieces of the paper's story are implemented faithfully:
+
+- **The recoverable storage allocator.**  The B-tree allocates node pages
+  dynamically inside its recoverable segment; the allocator's state (free
+  list + high-water mark) is itself a value-logged object, so "if a
+  transaction uses an operation that allocates storage, and the
+  transaction later aborts, the memory is made available for re-use".
+- **The marked-object batch.**  The original Pascal B-tree was ported by
+  wrapping it with ``LockAndMark`` / ``PinAndBufferMarkedObjects`` /
+  ``LogAndUnPinMarkedObjects`` rather than bracketing every assignment
+  with pin/log pairs -- locks are all acquired before anything is pinned,
+  which the checkpoint protocol requires.  Mutations here are computed on
+  an in-memory overlay and then installed through exactly that batch.
+
+Writers serialize on a per-directory tree lock (two-phase, held to commit);
+readers share it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServerError
+from repro.kernel.disk import PAGE_SIZE
+from repro.kernel.vm import ObjectID
+from repro.locking.modes import READ, WRITE
+from repro.servers.base import BaseDataServer
+from repro.txn.ids import TransactionID
+
+#: maximum keys per node; a node splits when it would exceed this
+MAX_KEYS = 8
+MIN_KEYS = MAX_KEYS // 2
+
+META_PAGE = 0
+ALLOCATOR_PAGE = 1
+FIRST_NODE_PAGE = 2
+
+
+class KeyNotFound(ServerError):
+    pass
+
+
+class DuplicateKey(ServerError):
+    pass
+
+
+class NoSuchDirectory(ServerError):
+    pass
+
+
+def _deep_copy(value):
+    """Structure-preserving copy for node/meta dictionaries."""
+    if isinstance(value, dict):
+        return {k: _deep_copy(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_deep_copy(v) for v in value]
+    return value
+
+
+def _node(leaf: bool, keys=None, vals=None, children=None) -> dict:
+    if leaf:
+        return {"leaf": True, "keys": list(keys or []),
+                "vals": list(vals or [])}
+    return {"leaf": False, "keys": list(keys or []),
+            "children": list(children or [])}
+
+
+class _Overlay:
+    """An uncommitted view of the segment: reads fall through to the pages,
+    writes collect until the marked-object batch installs them."""
+
+    def __init__(self, server: "BTreeServer"):
+        self.server = server
+        self.dirty: dict[int, object] = {}
+        self.allocated: list[int] = []
+        #: snapshots taken at overlay start, to detect real meta/allocator
+        #: changes (unchanged shared pages must be neither locked nor
+        #: logged, or every writer would serialize on them)
+        self.snapshots: dict[int, str] = {}
+
+    def read(self, page: int):
+        if page in self.dirty:
+            return self.dirty[page]
+        value = yield from self.server.library.read_object(
+            self.server._page_oid(page))
+        return value
+
+    def write(self, page: int, value: object) -> None:
+        self.dirty[page] = value
+
+    def allocate(self) -> int:
+        """Take a page from the recoverable allocator (via the overlay)."""
+        allocator = self.dirty.get(ALLOCATOR_PAGE)
+        assert allocator is not None, "caller loads the allocator first"
+        if allocator["free"]:
+            page = allocator["free"].pop()
+        else:
+            page = allocator["next_unused"]
+            allocator["next_unused"] += 1
+            if page >= self.server.SEGMENT_PAGES:
+                raise ServerError("B-tree segment is full")
+        self.allocated.append(page)
+        return page
+
+    def release(self, page: int) -> None:
+        allocator = self.dirty[ALLOCATOR_PAGE]
+        allocator["free"].append(page)
+
+
+class BTreeServer(BaseDataServer):
+    """Multi-key directories over recoverable B-trees."""
+
+    TYPE_NAME = "btree"
+    SEGMENT_PAGES = 512
+
+    # -- layout ------------------------------------------------------------------
+
+    def _page_oid(self, page: int) -> ObjectID:
+        return self.library.create_object_id(
+            self.base_va + page * PAGE_SIZE, 8)
+
+    def _tree_lock_key(self, directory: str):
+        return ("tree", self.name, directory)
+
+    # -- overlay plumbing -----------------------------------------------------------
+
+    def _begin_overlay(self, tid: TransactionID, load_allocator: bool):
+        overlay = _Overlay(self)
+        meta = yield from overlay.read(META_PAGE)
+        meta = {"directories": {}, "indices": {}, **(meta or {})}
+        overlay.write(META_PAGE, _deep_copy(meta))
+        overlay.snapshots[META_PAGE] = repr(meta)
+        if load_allocator:
+            allocator = yield from overlay.read(ALLOCATOR_PAGE)
+            allocator = {"free": list((allocator or {}).get("free", [])),
+                         "next_unused": (allocator or {}).get(
+                             "next_unused", FIRST_NODE_PAGE)}
+            overlay.write(ALLOCATOR_PAGE, _deep_copy(allocator))
+            overlay.snapshots[ALLOCATOR_PAGE] = repr(allocator)
+        return overlay
+
+    def _install_overlay(self, tid: TransactionID, overlay: _Overlay):
+        """LockAndMark every modified page, then batch pin/log.
+
+        The meta and allocator pages are shared by all directories; they
+        are locked and logged only when this transaction actually changed
+        them.  (TABS got more allocator concurrency still, with weak-queue
+        techniques over per-size pools; a changed-only exclusive lock is
+        the simpler discipline here.)
+        """
+        lib = self.library
+        pages = {}
+        for page, value in overlay.dirty.items():
+            snapshot = overlay.snapshots.get(page)
+            if snapshot is not None and repr(value) == snapshot:
+                continue  # untouched shared page
+            pages[page] = value
+        for page in sorted(pages):
+            yield from lib.lock_and_mark(tid, self._page_oid(page), WRITE)
+        yield from lib.pin_and_buffer_marked_objects(tid)
+        for page, value in sorted(pages.items()):
+            yield from lib.write_object(self._page_oid(page), value)
+        yield from lib.log_and_unpin_marked_objects(tid)
+
+    def _root_of(self, overlay: _Overlay, directory: str) -> int:
+        directories = overlay.dirty[META_PAGE]["directories"]
+        try:
+            return directories[directory]
+        except KeyError:
+            raise NoSuchDirectory(f"{self.name}: no directory "
+                                  f"{directory!r}") from None
+
+    # -- B-tree algorithms (pure, over the overlay) -------------------------------------
+
+    def _find(self, overlay: _Overlay, page: int, key):
+        node = yield from overlay.read(page)
+        while not node["leaf"]:
+            index = self._child_index(node, key)
+            page = node["children"][index]
+            node = yield from overlay.read(page)
+        if key in node["keys"]:
+            return node["vals"][node["keys"].index(key)]
+        return None
+
+    @staticmethod
+    def _child_index(node: dict, key) -> int:
+        index = 0
+        while index < len(node["keys"]) and key >= node["keys"][index]:
+            index += 1
+        return index
+
+    def _insert(self, overlay: _Overlay, root: int, key, value):
+        """Insert; returns the (possibly new) root page."""
+        split = yield from self._insert_into(overlay, root, key, value)
+        if split is None:
+            return root
+        middle_key, right_page = split
+        new_root = overlay.allocate()
+        overlay.write(new_root, _node(False, keys=[middle_key],
+                                      children=[root, right_page]))
+        return new_root
+
+    def _insert_into(self, overlay: _Overlay, page: int, key, value):
+        """Recursive insert; returns (promoted key, new right page) on split."""
+        node = dict((yield from overlay.read(page)))
+        node["keys"] = list(node["keys"])
+        if node["leaf"]:
+            node["vals"] = list(node["vals"])
+            if key in node["keys"]:
+                raise DuplicateKey(f"{self.name}: duplicate key {key!r}")
+            index = self._child_index(node, key)
+            node["keys"].insert(index, key)
+            node["vals"].insert(index, value)
+        else:
+            node["children"] = list(node["children"])
+            index = self._child_index(node, key)
+            split = yield from self._insert_into(
+                overlay, node["children"][index], key, value)
+            if split is None:
+                overlay.write(page, node)
+                return None
+            middle_key, right_page = split
+            node["keys"].insert(index, middle_key)
+            node["children"].insert(index + 1, right_page)
+        overlay.write(page, node)
+        if len(node["keys"]) <= MAX_KEYS:
+            return None
+        return self._split(overlay, page, node)
+
+    def _split(self, overlay: _Overlay, page: int, node: dict):
+        middle = len(node["keys"]) // 2
+        right_page = overlay.allocate()
+        if node["leaf"]:
+            right = _node(True, keys=node["keys"][middle:],
+                          vals=node["vals"][middle:])
+            promoted = node["keys"][middle]
+            left = _node(True, keys=node["keys"][:middle],
+                         vals=node["vals"][:middle])
+        else:
+            promoted = node["keys"][middle]
+            right = _node(False, keys=node["keys"][middle + 1:],
+                          children=node["children"][middle + 1:])
+            left = _node(False, keys=node["keys"][:middle],
+                         children=node["children"][:middle + 1])
+        overlay.write(page, left)
+        overlay.write(right_page, right)
+        return promoted, right_page
+
+    def _update(self, overlay: _Overlay, page: int, key, value):
+        node = dict((yield from overlay.read(page)))
+        if node["leaf"]:
+            if key not in node["keys"]:
+                raise KeyNotFound(f"{self.name}: no key {key!r}")
+            node["vals"] = list(node["vals"])
+            node["vals"][node["keys"].index(key)] = value
+            overlay.write(page, node)
+            return
+        index = self._child_index(node, key)
+        yield from self._update(overlay, node["children"][index], key, value)
+
+    def _delete(self, overlay: _Overlay, root: int, key):
+        """Delete; returns the (possibly changed) root page."""
+        found = yield from self._delete_from(overlay, root, key)
+        if not found:
+            raise KeyNotFound(f"{self.name}: no key {key!r}")
+        root_node = yield from overlay.read(root)
+        if not root_node["leaf"] and len(root_node["keys"]) == 0:
+            # The root emptied out: its sole child becomes the root.
+            new_root = root_node["children"][0]
+            overlay.release(root)
+            return new_root
+        return root
+
+    def _delete_from(self, overlay: _Overlay, page: int, key):
+        node = dict((yield from overlay.read(page)))
+        node["keys"] = list(node["keys"])
+        if node["leaf"]:
+            if key not in node["keys"]:
+                return False
+            index = node["keys"].index(key)
+            node["vals"] = list(node["vals"])
+            del node["keys"][index]
+            del node["vals"][index]
+            overlay.write(page, node)
+            return True
+        node["children"] = list(node["children"])
+        index = self._child_index(node, key)
+        found = yield from self._delete_from(overlay,
+                                             node["children"][index], key)
+        if not found:
+            return False
+        overlay.write(page, node)
+        yield from self._rebalance_child(overlay, page, index)
+        return True
+
+    def _rebalance_child(self, overlay: _Overlay, page: int, index: int):
+        """Restore the minimum-occupancy invariant of child ``index``."""
+        node = yield from overlay.read(page)
+        child_page = node["children"][index]
+        child = yield from overlay.read(child_page)
+        if len(child["keys"]) >= MIN_KEYS:
+            return
+        left_page = node["children"][index - 1] if index > 0 else None
+        right_page = (node["children"][index + 1]
+                      if index + 1 < len(node["children"]) else None)
+        left = (yield from overlay.read(left_page)) if left_page else None
+        right = (yield from overlay.read(right_page)) if right_page else None
+
+        node = dict(node)
+        node["keys"] = list(node["keys"])
+        node["children"] = list(node["children"])
+        child = {**child, "keys": list(child["keys"])}
+        if child["leaf"]:
+            child["vals"] = list(child["vals"])
+        else:
+            child["children"] = list(child["children"])
+
+        if left and len(left["keys"]) > MIN_KEYS:
+            self._borrow_from_left(node, index, child,
+                                   {**left, "keys": list(left["keys"]),
+                                    **({"vals": list(left["vals"])}
+                                       if left["leaf"] else
+                                       {"children": list(left["children"])})},
+                                   overlay, left_page, child_page, page)
+        elif right and len(right["keys"]) > MIN_KEYS:
+            self._borrow_from_right(node, index, child,
+                                    {**right, "keys": list(right["keys"]),
+                                     **({"vals": list(right["vals"])}
+                                        if right["leaf"] else
+                                        {"children":
+                                         list(right["children"])})},
+                                    overlay, right_page, child_page, page)
+        elif left is not None:
+            self._merge(node, index - 1, left, child, overlay,
+                        left_page, child_page, page)
+        elif right is not None:
+            self._merge(node, index, child, right, overlay,
+                        child_page, right_page, page)
+
+    def _borrow_from_left(self, node, index, child, left, overlay,
+                          left_page, child_page, page):
+        if child["leaf"]:
+            child["keys"].insert(0, left["keys"].pop())
+            child["vals"].insert(0, left["vals"].pop())
+            node["keys"][index - 1] = child["keys"][0]
+        else:
+            child["keys"].insert(0, node["keys"][index - 1])
+            node["keys"][index - 1] = left["keys"].pop()
+            child["children"].insert(0, left["children"].pop())
+        overlay.write(left_page, left)
+        overlay.write(child_page, child)
+        overlay.write(page, node)
+
+    def _borrow_from_right(self, node, index, child, right, overlay,
+                           right_page, child_page, page):
+        if child["leaf"]:
+            child["keys"].append(right["keys"].pop(0))
+            child["vals"].append(right["vals"].pop(0))
+            node["keys"][index] = right["keys"][0]
+        else:
+            child["keys"].append(node["keys"][index])
+            node["keys"][index] = right["keys"].pop(0)
+            child["children"].append(right["children"].pop(0))
+        overlay.write(right_page, right)
+        overlay.write(child_page, child)
+        overlay.write(page, node)
+
+    def _merge(self, node, separator_index, left, right, overlay,
+               left_page, right_page, page):
+        """Fold ``right`` into ``left``; the right page returns to the pool."""
+        if left["leaf"]:
+            left["keys"] = left["keys"] + right["keys"]
+            left["vals"] = left["vals"] + right["vals"]
+        else:
+            left["keys"] = (left["keys"] + [node["keys"][separator_index]]
+                            + right["keys"])
+            left["children"] = left["children"] + right["children"]
+        del node["keys"][separator_index]
+        del node["children"][separator_index + 1]
+        overlay.write(left_page, left)
+        overlay.write(page, node)
+        overlay.release(right_page)
+
+    def _scan(self, overlay: _Overlay, page: int, lo, hi, out: list):
+        node = yield from overlay.read(page)
+        if node["leaf"]:
+            for key, value in zip(node["keys"], node["vals"]):
+                if (lo is None or key >= lo) and (hi is None or key <= hi):
+                    out.append((key, value))
+            return
+        for index, child in enumerate(node["children"]):
+            first_key = node["keys"][index - 1] if index > 0 else None
+            if hi is not None and first_key is not None and first_key > hi:
+                break
+            yield from self._scan(overlay, child, lo, hi, out)
+
+    # -- operations ---------------------------------------------------------------------------
+
+    def op_create_directory(self, body: dict, tid: TransactionID):
+        directory = body["directory"]
+        yield from self.library.lock_object(tid, ("meta", self.name), WRITE)
+        overlay = yield from self._begin_overlay(tid, load_allocator=True)
+        directories = overlay.dirty[META_PAGE]["directories"]
+        if directory in directories:
+            raise ServerError(f"directory {directory!r} already exists")
+        root = overlay.allocate()
+        overlay.write(root, _node(True))
+        directories[directory] = root
+        yield from self._install_overlay(tid, overlay)
+        return {"root": root}
+
+    def op_insert(self, body: dict, tid: TransactionID):
+        directory, key = body["directory"], body["key"]
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), WRITE)
+        overlay = yield from self._begin_overlay(tid, load_allocator=True)
+        root = self._root_of(overlay, directory)
+        new_root = yield from self._insert(overlay, root, key, body["value"])
+        if new_root != root:
+            overlay.dirty[META_PAGE]["directories"][directory] = new_root
+        yield from self._maintain_indices(overlay, tid, directory, key,
+                                          None, body["value"])
+        yield from self._install_overlay(tid, overlay)
+        return {}
+
+    def op_update(self, body: dict, tid: TransactionID):
+        directory, key = body["directory"], body["key"]
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), WRITE)
+        overlay = yield from self._begin_overlay(tid, load_allocator=True)
+        root = self._root_of(overlay, directory)
+        old_value = yield from self._find(overlay, root, key)
+        yield from self._update(overlay, root, key, body["value"])
+        yield from self._maintain_indices(overlay, tid, directory, key,
+                                          old_value, body["value"])
+        yield from self._install_overlay(tid, overlay)
+        return {}
+
+    def op_delete(self, body: dict, tid: TransactionID):
+        directory, key = body["directory"], body["key"]
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), WRITE)
+        overlay = yield from self._begin_overlay(tid, load_allocator=True)
+        root = self._root_of(overlay, directory)
+        old_value = yield from self._find(overlay, root, key)
+        new_root = yield from self._delete(overlay, root, key)
+        if new_root != root:
+            overlay.dirty[META_PAGE]["directories"][directory] = new_root
+        yield from self._maintain_indices(overlay, tid, directory, key,
+                                          old_value, None)
+        yield from self._install_overlay(tid, overlay)
+        return {}
+
+    def op_lookup(self, body: dict, tid: TransactionID):
+        directory, key = body["directory"], body["key"]
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), READ)
+        overlay = yield from self._begin_overlay(tid, load_allocator=False)
+        root = self._root_of(overlay, directory)
+        value = yield from self._find(overlay, root, key)
+        if value is None:
+            raise KeyNotFound(f"{self.name}: no key {key!r} in "
+                              f"{directory!r}")
+        return {"value": value}
+
+    def op_scan(self, body: dict, tid: TransactionID):
+        directory = body["directory"]
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), READ)
+        overlay = yield from self._begin_overlay(tid, load_allocator=False)
+        root = self._root_of(overlay, directory)
+        out: list = []
+        yield from self._scan(overlay, root, body.get("lo"),
+                              body.get("hi"), out)
+        return {"entries": out}
+
+    # -- secondary indices --------------------------------------------------------------------------
+
+    def op_create_index(self, body: dict, tid: TransactionID):
+        """An index on a field of the directory's (dict-shaped) values.
+
+        The index must be created while the directory is still empty;
+        existing entries are not back-filled.
+        """
+        directory, field = body["directory"], body["field"]
+        yield from self.library.lock_object(tid, ("meta", self.name), WRITE)
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), WRITE)
+        overlay = yield from self._begin_overlay(tid, load_allocator=True)
+        meta = overlay.dirty[META_PAGE]
+        self._root_of(overlay, directory)  # validates the directory exists
+        index_dir = self._index_name(directory, field)
+        if index_dir in meta["directories"]:
+            raise ServerError(f"index on {field!r} already exists")
+        root = overlay.allocate()
+        overlay.write(root, _node(True))
+        meta["directories"][index_dir] = root
+        fields = sorted(set(meta["indices"].get(directory, [])) | {field})
+        meta["indices"][directory] = fields
+        yield from self._install_overlay(tid, overlay)
+        return {"root": root}
+
+    @staticmethod
+    def _index_name(directory: str, field: str) -> str:
+        return f"{directory}#{field}"
+
+    def _maintain_indices(self, overlay: _Overlay, tid: TransactionID,
+                          directory: str, key, old_value, new_value):
+        meta = overlay.dirty[META_PAGE]
+        fields = meta.get("indices", {}).get(directory, [])
+        for field in fields:
+            index_dir = self._index_name(directory, field)
+            root = meta["directories"][index_dir]
+            if isinstance(old_value, dict) and field in old_value:
+                root = yield from self._delete(
+                    overlay, root, (old_value[field], key))
+            if isinstance(new_value, dict) and field in new_value:
+                root = yield from self._insert(
+                    overlay, root, (new_value[field], key), key)
+            meta["directories"][index_dir] = root
+
+    def op_lookup_by_index(self, body: dict, tid: TransactionID):
+        """All (secondary key, primary key) pairs matching a secondary key."""
+        directory, field = body["directory"], body["field"]
+        yield from self.library.lock_object(
+            tid, self._tree_lock_key(directory), READ)
+        overlay = yield from self._begin_overlay(tid, load_allocator=False)
+        index_dir = self._index_name(directory, field)
+        root = self._root_of(overlay, index_dir)
+        out: list = []
+        value = body["key"]
+        yield from self._scan(overlay, root, None, None, out)
+        matches = [primary for (secondary, _k), primary in out
+                   if secondary == value]
+        return {"primary_keys": matches}

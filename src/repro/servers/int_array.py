@@ -1,0 +1,62 @@
+"""The integer array server (Section 4.1).
+
+"The integer array server maintains an array of (one word) integers" with
+``GetCell`` and ``SetCell`` operations.  It is the very straightforward
+data server of the paper: plain two-phase read/write locking and value
+logging.  The implementation of ``SetCell`` tracks the paper's Pascal
+listing line by line: compute the cell's object id by address arithmetic
+off the base of the recoverable segment, ``LockObject(obj, Write)``,
+``PinAndBuffer``, assign, ``LogAndUnPin``.
+
+Cells are 1-indexed, as in the paper (``1 <= cellNum <= maxCell``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServerError
+from repro.kernel.disk import PAGE_SIZE
+from repro.locking.modes import READ, WRITE
+from repro.servers.base import BaseDataServer
+from repro.txn.ids import TransactionID
+
+#: WordSize(integer) on the simulated Perq
+WORD_SIZE = 4
+
+
+class IndexOutOfRange(ServerError):
+    """The paper's ``IndexOutOfRange`` return code, as an exception."""
+
+
+class IntegerArrayServer(BaseDataServer):
+    """GetCell/SetCell over a recoverable array of one-word integers."""
+
+    TYPE_NAME = "integer_array"
+    SEGMENT_PAGES = 5000  # large enough for the Section 5 paging benchmarks
+
+    @property
+    def max_cell(self) -> int:
+        return self.SEGMENT_PAGES * (PAGE_SIZE // WORD_SIZE)
+
+    def _cell_oid(self, cell: int):
+        if not 1 <= cell <= self.max_cell:
+            raise IndexOutOfRange(f"cell {cell} outside 1..{self.max_cell}")
+        # baseOfArray + (cellNum-1) * size, as in the paper's listing.
+        va = self.base_va + (cell - 1) * WORD_SIZE
+        return self.library.create_object_id(va, WORD_SIZE)
+
+    def op_set_cell(self, body: dict, tid: TransactionID):
+        """SetCell(cellNum, value): sets array[cellNum] to contain value."""
+        oid = self._cell_oid(body["cell"])
+        lib = self.library
+        yield from lib.lock_object(tid, oid, WRITE)
+        yield from lib.pin_and_buffer(tid, oid)
+        yield from lib.write_object(oid, int(body["value"]))
+        yield from lib.log_and_unpin(tid, oid)
+        return {"status": "success"}
+
+    def op_get_cell(self, body: dict, tid: TransactionID):
+        """GetCell(cellNum): the cell's current value (0 if never set)."""
+        oid = self._cell_oid(body["cell"])
+        yield from self.library.lock_object(tid, oid, READ)
+        value = yield from self.library.read_object(oid)
+        return {"value": int(value) if value is not None else 0}

@@ -1,0 +1,161 @@
+"""A mailbox server with type-specific locking.
+
+Two threads of the paper meet here.  Section 2.2 points at mail systems
+("The integrity guarantees of a mail system, such as one sketched by
+Liskov, are also simplified"), and Section 4.6 closes with "We intend to
+explore the type-specific locking capability of TABS with future data
+servers."  This server is that exploration: a mailbox type whose lock
+compatibility matrix admits concurrency that read/write locking cannot.
+
+The protocol (per mailbox):
+
+==========  ======  ========  ======
+held \\ req   PUT     READ     TAKE
+PUT          yes      no       no
+READ         no       yes      no
+TAKE         no       no       no
+==========  ======  ========  ======
+
+``PUT`` is compatible with ``PUT``: two senders delivering to the same
+mailbox commute (they fill different slots), even though both *write* --
+exactly the increased concurrency Schwarz & Spector's type-specific
+locking buys.  Readers share; ``TAKE`` (drain) excludes everything.
+
+Storage reuses the weak-queue technique: each mailbox is a page of
+individually value-logged slots with in-use bits, plus a volatile
+next-slot pointer recomputed after a crash.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServerError
+from repro.kernel.disk import PAGE_SIZE
+from repro.locking.modes import LockMode, make_protocol
+from repro.servers.base import BaseDataServer
+from repro.txn.ids import TransactionID
+
+MAILBOX_PROTOCOL = make_protocol(
+    "mailbox", ("PUT", "READ", "TAKE"),
+    (("PUT", "PUT"), ("READ", "READ")))
+
+PUT = LockMode("PUT")
+READ = LockMode("READ")
+TAKE = LockMode("TAKE")
+
+SLOT_SIZE = 8
+SLOTS_PER_MAILBOX = PAGE_SIZE // SLOT_SIZE
+
+
+class MailboxFull(ServerError):
+    pass
+
+
+class MailboxServer(BaseDataServer):
+    """put / read_all / take_all over per-user mailboxes."""
+
+    TYPE_NAME = "mailbox"
+    SEGMENT_PAGES = 32
+    PROTOCOL = MAILBOX_PROTOCOL
+
+    def __init__(self, tabs_node, name: str):
+        super().__init__(tabs_node, name)
+        #: volatile: next free slot per mailbox (recomputed after crashes)
+        self._next_slot: dict[int, int] = {}
+
+    @property
+    def max_mailboxes(self) -> int:
+        return self.SEGMENT_PAGES
+
+    def _mailbox_key(self, mailbox: int):
+        if not 0 <= mailbox < self.max_mailboxes:
+            raise ServerError(f"no mailbox {mailbox}")
+        return ("mailbox", self.name, mailbox)
+
+    def _slot_oid(self, mailbox: int, slot: int):
+        return self.library.create_object_id(
+            self.base_va + mailbox * PAGE_SIZE + slot * SLOT_SIZE,
+            SLOT_SIZE)
+
+    def _read_slot(self, mailbox: int, slot: int):
+        value = yield from self.library.read_object(
+            self._slot_oid(mailbox, slot))
+        return value if value is not None else (None, False)
+
+    def _recompute_top(self, mailbox: int):
+        """Highest live slot index + 1; locked slots count as live (an
+        uncommitted take may yet abort and restore them)."""
+        top = 0
+        for slot in range(SLOTS_PER_MAILBOX):
+            oid = self._slot_oid(mailbox, slot)
+            if self.library.is_object_locked(oid):
+                top = slot + 1
+                continue
+            _, in_use = yield from self._read_slot(mailbox, slot)
+            if in_use:
+                top = slot + 1
+        return top
+
+    # -- recovery -------------------------------------------------------------
+
+    def on_recovered(self):
+        for mailbox in range(self.max_mailboxes):
+            top = 0
+            for slot in range(SLOTS_PER_MAILBOX):
+                _, in_use = yield from self._read_slot(mailbox, slot)
+                if in_use:
+                    top = slot + 1
+            self._next_slot[mailbox] = top
+
+    # -- operations ----------------------------------------------------------------
+
+    def op_put(self, body: dict, tid: TransactionID):
+        """Deliver a message.  Concurrent puts to one mailbox commute:
+        the PUT lock mode is compatible with itself, and each put claims
+        its own slot (monitor semantics protect the slot counter)."""
+        mailbox = int(body["mailbox"])
+        lib = self.library
+        yield from lib.lock_object(tid, self._mailbox_key(mailbox), PUT)
+        slot = self._next_slot.get(mailbox, 0)
+        if slot >= SLOTS_PER_MAILBOX:
+            # Slot space exhausted: compact past drained messages (a
+            # committed take_all freed them; locked slots stay reserved).
+            slot = yield from self._recompute_top(mailbox)
+            if slot >= SLOTS_PER_MAILBOX:
+                raise MailboxFull(f"mailbox {mailbox} is full")
+        self._next_slot[mailbox] = slot + 1
+        oid = self._slot_oid(mailbox, slot)
+        yield from lib.lock_object(tid, oid, PUT)
+        yield from lib.pin_and_buffer(tid, oid)
+        yield from lib.write_object(oid, (body["message"], True))
+        yield from lib.log_and_unpin(tid, oid)
+        return {"slot": slot}
+
+    def op_read_all(self, body: dict, tid: TransactionID):
+        """Read the mailbox without draining it (readers share)."""
+        mailbox = int(body["mailbox"])
+        yield from self.library.lock_object(
+            tid, self._mailbox_key(mailbox), READ)
+        messages = []
+        for slot in range(self._next_slot.get(mailbox, 0)):
+            message, in_use = yield from self._read_slot(mailbox, slot)
+            if in_use:
+                messages.append(message)
+        return {"messages": messages}
+
+    def op_take_all(self, body: dict, tid: TransactionID):
+        """Drain the mailbox (exclusive: conflicts with puts and reads)."""
+        mailbox = int(body["mailbox"])
+        lib = self.library
+        yield from lib.lock_object(tid, self._mailbox_key(mailbox), TAKE)
+        messages = []
+        for slot in range(self._next_slot.get(mailbox, 0)):
+            oid = self._slot_oid(mailbox, slot)
+            message, in_use = yield from self._read_slot(mailbox, slot)
+            if not in_use:
+                continue
+            yield from lib.lock_object(tid, oid, TAKE)
+            yield from lib.pin_and_buffer(tid, oid)
+            yield from lib.write_object(oid, (None, False))
+            yield from lib.log_and_unpin(tid, oid)
+            messages.append(message)
+        return {"messages": messages}

@@ -1,0 +1,210 @@
+"""The replicated directory object (Section 4.5).
+
+An abstraction identical to a conventional directory that stores its data
+in multiple *directory representative* servers on different nodes, using a
+variation of Gifford's weighted voting for global coordination (Gifford
+79; Daniels & Spector 83; Bloch et al. 84).
+
+Two pieces, mirroring the paper's structure:
+
+- :class:`DirectoryRepresentativeServer` -- a data server that "uses a
+  B-tree server to actually store the data" plus the localized voting
+  functions: versioned read/write/delete entries (deletions leave
+  versioned tombstones so they can win votes).
+- :class:`ReplicatedDirectory` -- the module "linked in with the client
+  program" that does global coordination of the voting.
+
+Every replicated operation runs inside the caller's transaction, so
+aborting recovers on multiple nodes and committing exercises the
+multi-node two-phase commit -- the paper's own demonstration ("Our tests
+so far involve 3 nodes, which permits one node to fail and have the data
+remain available").
+
+Quorum rule: each representative carries a weight; a read gathers
+``read_quorum`` votes, a write installs the new version at
+``write_quorum`` representatives, and ``read_quorum + write_quorum``
+must exceed the total weight so any read quorum intersects any committed
+write quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.library import ApplicationLibrary
+from repro.errors import QuorumUnavailable, SessionBroken, TabsError
+from repro.rpc.stubs import ServiceRef
+from repro.servers.btree import BTreeServer, KeyNotFound
+from repro.txn.ids import TransactionID
+
+
+class DirectoryRepresentativeServer(BTreeServer):
+    """One replica: a B-tree-backed directory with per-entry versions."""
+
+    TYPE_NAME = "directory_representative"
+
+    def op_rep_read(self, body: dict, tid: TransactionID):
+        """The representative's vote: (value, version, deleted) or absent."""
+        try:
+            result = yield from self.op_lookup(body, tid)
+        except KeyNotFound:
+            return {"present": False, "version": 0}
+        entry = result["value"]
+        return {"present": True, "version": entry["version"],
+                "deleted": entry["deleted"], "value": entry["value"]}
+
+    def op_rep_write(self, body: dict, tid: TransactionID):
+        """Install a versioned entry (insert-or-update semantics)."""
+        entry = {"value": body.get("value"), "version": body["version"],
+                 "deleted": body.get("deleted", False)}
+        write = {"directory": body["directory"], "key": body["key"],
+                 "value": entry}
+        try:
+            yield from self.op_update(write, tid)
+        except KeyNotFound:
+            yield from self.op_insert(write, tid)
+        return {}
+
+
+@dataclass(frozen=True)
+class Replica:
+    ref: ServiceRef
+    weight: int = 1
+
+
+class ReplicatedDirectory:
+    """Client-side global coordination of the weighted voting."""
+
+    def __init__(self, app: ApplicationLibrary, replicas: list[Replica],
+                 read_quorum: int, write_quorum: int,
+                 directory: str = "entries",
+                 read_repair: bool = False) -> None:
+        total = sum(replica.weight for replica in replicas)
+        if read_quorum + write_quorum <= total:
+            raise TabsError(
+                f"quorums do not intersect: r({read_quorum}) + "
+                f"w({write_quorum}) must exceed total weight {total}")
+        if write_quorum <= total / 2:
+            raise TabsError("write quorum must be a weighted majority, or "
+                            "two writes could miss each other")
+        self.app = app
+        self.replicas = list(replicas)
+        self.read_quorum = read_quorum
+        self.write_quorum = write_quorum
+        self.directory = directory
+        #: extension: push the winning version to stale replicas on read
+        self.read_repair = read_repair
+
+    # -- setup ----------------------------------------------------------------
+
+    def create(self, tid: TransactionID):
+        """Create the backing directory at every representative
+        (generator; run once at deployment time, all replicas up)."""
+        for replica in self.replicas:
+            yield from self.app.call(replica.ref, "create_directory",
+                                     {"directory": self.directory}, tid)
+
+    # -- voting ----------------------------------------------------------------
+
+    def _gather_read_quorum(self, tid: TransactionID, key):
+        """Collect votes until the read quorum's weight is reached."""
+        votes = []
+        weight = 0
+        unreachable = 0
+        for replica in self.replicas:
+            if weight >= self.read_quorum:
+                break
+            try:
+                vote = yield from self.app.call(
+                    replica.ref, "rep_read",
+                    {"directory": self.directory, "key": key}, tid)
+            except SessionBroken:
+                unreachable += 1
+                continue
+            votes.append((replica, vote))
+            weight += replica.weight
+        if weight < self.read_quorum:
+            raise QuorumUnavailable(
+                f"read quorum {self.read_quorum} unreachable: got weight "
+                f"{weight} ({unreachable} replicas down)")
+        return votes
+
+    @staticmethod
+    def _winning_vote(votes):
+        best = {"present": False, "version": 0}
+        for _replica, vote in votes:
+            if vote["version"] > best["version"]:
+                best = vote
+        return best
+
+    def _install(self, tid: TransactionID, key, value, version: int,
+                 deleted: bool):
+        """Write the new version to a write quorum of representatives."""
+        weight = 0
+        for replica in self.replicas:
+            try:
+                yield from self.app.call(
+                    replica.ref, "rep_write",
+                    {"directory": self.directory, "key": key,
+                     "value": value, "version": version,
+                     "deleted": deleted}, tid)
+            except SessionBroken:
+                continue
+            weight += replica.weight
+        if weight < self.write_quorum:
+            raise QuorumUnavailable(
+                f"write quorum {self.write_quorum} unreachable: reached "
+                f"weight {weight}")
+
+    # -- the directory abstraction --------------------------------------------------
+
+    def lookup(self, tid: TransactionID, key):
+        """Current value for ``key`` (generator); KeyNotFound if absent."""
+        votes = yield from self._gather_read_quorum(tid, key)
+        winner = self._winning_vote(votes)
+        if self.read_repair and winner["present"]:
+            yield from self._repair(tid, key, votes, winner)
+        if not winner["present"] or winner.get("deleted"):
+            raise KeyNotFound(f"replicated directory: no key {key!r}")
+        return winner["value"]
+
+    def insert(self, tid: TransactionID, key, value):
+        """Add a new entry (generator); DuplicateKey-ish error if present."""
+        votes = yield from self._gather_read_quorum(tid, key)
+        winner = self._winning_vote(votes)
+        if winner["present"] and not winner.get("deleted"):
+            raise TabsError(f"replicated directory: key {key!r} exists")
+        yield from self._install(tid, key, value, winner["version"] + 1,
+                                 deleted=False)
+
+    def update(self, tid: TransactionID, key, value):
+        votes = yield from self._gather_read_quorum(tid, key)
+        winner = self._winning_vote(votes)
+        if not winner["present"] or winner.get("deleted"):
+            raise KeyNotFound(f"replicated directory: no key {key!r}")
+        yield from self._install(tid, key, value, winner["version"] + 1,
+                                 deleted=False)
+
+    def delete(self, tid: TransactionID, key):
+        """Remove an entry by installing a versioned tombstone (generator)."""
+        votes = yield from self._gather_read_quorum(tid, key)
+        winner = self._winning_vote(votes)
+        if not winner["present"] or winner.get("deleted"):
+            raise KeyNotFound(f"replicated directory: no key {key!r}")
+        yield from self._install(tid, key, None, winner["version"] + 1,
+                                 deleted=True)
+
+    # -- read repair (extension) -------------------------------------------------------
+
+    def _repair(self, tid: TransactionID, key, votes, winner):
+        for replica, vote in votes:
+            if vote["version"] < winner["version"]:
+                try:
+                    yield from self.app.call(
+                        replica.ref, "rep_write",
+                        {"directory": self.directory, "key": key,
+                         "value": winner.get("value"),
+                         "version": winner["version"],
+                         "deleted": winner.get("deleted", False)}, tid)
+                except SessionBroken:  # pragma: no cover - best effort
+                    continue

@@ -1,0 +1,186 @@
+"""The weak queue (semi-queue) server (Section 4.2).
+
+A weak queue does not guarantee strict FIFO dequeue order: relaxing that
+guarantee allows greater concurrency while retaining failure atomicity.
+The implementation follows the paper exactly:
+
+- an array of individually lockable elements with head and tail pointers
+  bounding the in-use section;
+- each element carries its contents plus an ``InUse`` boolean, because
+  aborted enqueues leave gaps in the range;
+- the head pointer is permanent and failure atomic (value logged); the
+  tail pointer lives in volatile storage and is recomputed after a crash
+  by examining the head pointer and the InUse bits;
+- ``Enqueue`` fills the element below the tail and advances the unlocked
+  tail pointer, relying on the monitor semantics of TABS coroutines (a
+  coroutine switch happens only when an operation waits);
+- ``Dequeue`` scans from the head with ``IsObjectLocked`` and the InUse
+  bit, skipping elements another transaction is still manipulating;
+- garbage collection -- moving the head past dead elements -- happens as
+  a side effect of ``Enqueue``.
+
+The design is the one that prompted ``ConditionallyLockObject`` and
+``IsObjectLocked`` to be added to the server library.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServerError
+from repro.kernel.disk import PAGE_SIZE
+from repro.locking.modes import WRITE
+from repro.servers.base import BaseDataServer
+from repro.txn.ids import TransactionID
+
+#: bytes reserved per element slot (contents + InUse flag as one object)
+SLOT_SIZE = 8
+#: byte offset of the failure-atomic head pointer
+HEAD_OFFSET = 0
+#: first element slot (the head pointer occupies the front of the segment)
+FIRST_SLOT_OFFSET = SLOT_SIZE
+
+
+class QueueFull(ServerError):
+    """No free element below the tail (garbage collection found nothing)."""
+
+
+class QueueEmpty(ServerError):
+    """Dequeue found no unlocked, in-use element."""
+
+
+class WeakQueueServer(BaseDataServer):
+    """Enqueue / Dequeue / IsQueueEmpty over a recoverable element array."""
+
+    TYPE_NAME = "weak_queue"
+    SEGMENT_PAGES = 16
+
+    def __init__(self, tabs_node, name: str, capacity: int | None = None):
+        super().__init__(tabs_node, name)
+        max_capacity = (self.SEGMENT_PAGES * PAGE_SIZE
+                        - FIRST_SLOT_OFFSET) // SLOT_SIZE
+        self.capacity = capacity or max_capacity
+        if self.capacity > max_capacity:
+            raise ServerError(f"capacity {capacity} exceeds segment room "
+                              f"({max_capacity})")
+        #: volatile tail pointer (recomputed after a crash)
+        self._tail = 0
+
+    # -- object layout -------------------------------------------------------
+
+    def _head_oid(self):
+        return self.library.create_object_id(self.base_va + HEAD_OFFSET,
+                                             SLOT_SIZE)
+
+    def _slot_oid(self, index: int):
+        offset = FIRST_SLOT_OFFSET + (index % self.capacity) * SLOT_SIZE
+        return self.library.create_object_id(self.base_va + offset,
+                                             SLOT_SIZE)
+
+    def _read_head(self):
+        value = yield from self.library.read_object(self._head_oid())
+        return int(value or 0)
+
+    def _read_slot(self, index: int):
+        value = yield from self.library.read_object(self._slot_oid(index))
+        if value is None:
+            return (None, False)
+        return value  # (contents, in_use)
+
+    # -- recovery -------------------------------------------------------------
+
+    def on_recovered(self):
+        """Recompute the volatile tail: scan forward from the head until a
+        full capacity window shows no in-use element."""
+        head = yield from self._read_head()
+        tail = head
+        for probe in range(self.capacity):
+            _, in_use = yield from self._read_slot(head + probe)
+            if in_use:
+                tail = head + probe + 1
+        self._tail = tail
+
+    # -- operations --------------------------------------------------------------
+
+    def op_enqueue(self, body: dict, tid: TransactionID):
+        """Place an item below the tail; the InUse flip is value-logged."""
+        head = yield from self._read_head()
+        yield from self._collect_garbage(tid, head)
+        head = yield from self._read_head()
+        if self._tail - head >= self.capacity:
+            raise QueueFull(f"{self.name}: all {self.capacity} slots used")
+        index = self._tail
+        slot = self._slot_oid(index)
+        # Monitor semantics: no wait between reading and advancing the tail,
+        # so no other coroutine can claim the same slot.
+        self._tail += 1
+        locked = self.library.conditionally_lock_object(tid, slot, WRITE)
+        if not locked:  # pragma: no cover - tail never points at locked slots
+            raise ServerError("tail slot unexpectedly locked")
+        yield from self.library.pin_and_buffer(tid, slot)
+        yield from self.library.write_object(slot, (body["data"], True))
+        yield from self.library.log_and_unpin(tid, slot)
+        return {"index": index}
+
+    def op_dequeue(self, body: dict, tid: TransactionID):
+        """Scan from the head for an unlocked, in-use element."""
+        del body
+        head = yield from self._read_head()
+        for index in range(head, self._tail):
+            slot = self._slot_oid(index)
+            if self._locked_by_other(tid, slot):
+                continue  # another operation is still manipulating it
+            contents, in_use = yield from self._read_slot(index)
+            if not in_use:
+                continue  # an aborted enqueue's gap, or already dequeued
+            if not self.library.conditionally_lock_object(tid, slot, WRITE):
+                continue  # pragma: no cover - raced with another coroutine
+            yield from self.library.pin_and_buffer(tid, slot)
+            yield from self.library.write_object(slot, (contents, False))
+            yield from self.library.log_and_unpin(tid, slot)
+            return {"data": contents, "index": index}
+        raise QueueEmpty(f"{self.name}: no dequeueable element")
+
+    def op_is_queue_empty(self, body: dict, tid: TransactionID):
+        del body
+        head = yield from self._read_head()
+        for index in range(head, self._tail):
+            slot = self._slot_oid(index)
+            if self._locked_by_other(tid, slot):
+                # A pending enqueue/dequeue: conservatively non-empty.
+                return {"empty": False}
+            _, in_use = yield from self._read_slot(index)
+            if in_use:
+                return {"empty": False}
+        return {"empty": True}
+
+    def _locked_by_other(self, tid: TransactionID, slot) -> bool:
+        """IsObjectLocked, excluding the caller's own locks: an element
+        this transaction enqueued is dequeueable by the same transaction."""
+        return (self.library.is_object_locked(slot)
+                and not self.library.locks.holds(tid, slot))
+
+    # -- garbage collection ----------------------------------------------------------
+
+    def _collect_garbage(self, tid: TransactionID, head: int):
+        """Advance the head past unlocked, not-in-use elements.
+
+        Performed as a side effect of Enqueue, standing in for the paper's
+        "randomly invoked" abstract collector.  The head pointer is failure
+        atomic, so the move is itself logged under the enqueuer.
+        """
+        new_head = head
+        while new_head < self._tail:
+            slot = self._slot_oid(new_head)
+            if self.library.is_object_locked(slot):
+                break
+            _, in_use = yield from self._read_slot(new_head)
+            if in_use:
+                break
+            new_head += 1
+        if new_head == head:
+            return
+        head_oid = self._head_oid()
+        if not self.library.conditionally_lock_object(tid, head_oid, WRITE):
+            return  # someone else is moving it; skip this round
+        yield from self.library.pin_and_buffer(tid, head_oid)
+        yield from self.library.write_object(head_oid, new_head)
+        yield from self.library.log_and_unpin(tid, head_oid)

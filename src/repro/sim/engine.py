@@ -1,0 +1,94 @@
+"""The discrete-event simulation loop.
+
+Time is a float measured in *milliseconds* to match the units of the paper's
+Table 5-1 primitive-operation times.  The engine keeps a binary heap of
+``(time, sequence, callback)`` entries; the sequence number makes same-time
+ordering deterministic (FIFO in schedule order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """A deterministic event loop with a simulated millisecond clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` milliseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_now(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the current instant, after pending same-time work."""
+        self.schedule(0.0, callback)
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False when idle."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self._now = time
+        callback()
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the event queue drains or the clock passes ``until``.
+
+        With ``until`` set, the clock is advanced exactly to ``until`` when
+        the queue drains early or the next event lies beyond it.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return
+            if until < self._now:
+                raise SimulationError(f"until={until} is before now={self._now}")
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = until
+        finally:
+            self._running = False
+
+    def run_until(self, event: "object") -> object:
+        """Run until ``event`` has been processed; return its value.
+
+        Raises the event's exception if it failed, and ``SimulationError`` if
+        the queue drains while the event is still pending (deadlock).
+        """
+        # Local import to avoid a cycle at module-import time.
+        from repro.sim.events import Event
+
+        if not isinstance(event, Event):
+            raise SimulationError(f"run_until() needs an Event, got {event!r}")
+        while not event.processed:
+            if not self.step():
+                raise SimulationError(
+                    f"event queue drained while {event!r} was still pending "
+                    "(simulated deadlock)"
+                )
+        return event.result()
+
+    def pending_count(self) -> int:
+        """Number of callbacks still queued (diagnostic)."""
+        return len(self._heap)

@@ -1,0 +1,182 @@
+"""Waitable events for the simulation engine.
+
+An :class:`Event` moves through three states:
+
+``pending`` -> ``triggered`` (succeed/fail called, callbacks scheduled)
+-> ``processed`` (callbacks have run).
+
+Processes wait on events by yielding them; see :mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on."""
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._value: object = _PENDING
+        self._ok: bool | None = None
+        self._callbacks: list[Callable[[Event], None]] | None = []
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed() or fail() has been called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._ok
+
+    def result(self) -> object:
+        """The event's value; re-raises its exception if it failed."""
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        if not self._ok:
+            assert isinstance(self._value, BaseException)
+            raise self._value
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(False, exception)
+        return self
+
+    def _trigger(self, ok: bool, value: object) -> None:
+        if self._ok is not None:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._ok = ok
+        self._value = value
+        self.engine.schedule_now(self._run_callbacks)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    # -- observers --------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` once the event is processed.
+
+        If the event has already been processed the callback is scheduled to
+        run at the current instant, preserving run-to-completion semantics.
+        """
+        if self._callbacks is None:
+            self.engine.schedule_now(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Stop observing; no-op if the callbacks already ran."""
+        if self._callbacks is not None and callback in self._callbacks:
+            self._callbacks.remove(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay."""
+
+    def __init__(self, engine: Engine, delay: float, value: object = None,
+                 name: str = "") -> None:
+        super().__init__(engine, name or f"timeout({delay})")
+        self.delay = delay
+        engine.schedule(delay, lambda: self.succeed(value))
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, engine: Engine, events: list[Event], name: str) -> None:
+        super().__init__(engine, name)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> list[object]:
+        return [e._value for e in self._events if e.triggered and e.ok]
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first child event is processed.
+
+    The value is the ``(index, value)`` of the first event to complete.  If
+    that event failed, this condition fails with the same exception.
+    """
+
+    def __init__(self, engine: Engine, events: list[Event]) -> None:
+        super().__init__(engine, events, "any_of")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed((self._events.index(event), event._value))
+        else:
+            assert isinstance(event._value, BaseException)
+            self.fail(event._value)
+
+
+class AllOf(_Condition):
+    """Succeeds when every child event has been processed.
+
+    The value is the list of child values in constructor order.  The first
+    child failure fails the condition immediately.
+    """
+
+    def __init__(self, engine: Engine, events: list[Event]) -> None:
+        super().__init__(engine, events, "all_of")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            assert isinstance(event._value, BaseException)
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])

@@ -1,0 +1,19 @@
+"""Transaction management.
+
+The Transaction Manager's major responsibilities are implementing commit
+protocols and allocating globally unique transaction identifiers
+(Section 3.2.3).  This package provides:
+
+- :mod:`repro.txn.ids` -- globally unique transaction identifiers with
+  subtransaction paths,
+- :mod:`repro.txn.status` -- the per-transaction state machine,
+- :mod:`repro.txn.manager` -- the Transaction Manager process, including the
+  tree-structured two-phase commit protocol driven over Communication
+  Manager datagrams.
+"""
+
+from repro.txn.ids import NULL_TID, TidFactory, TransactionID
+from repro.txn.status import TransactionState, TxnPhase
+
+__all__ = ["TransactionID", "TidFactory", "NULL_TID", "TransactionState",
+           "TxnPhase"]

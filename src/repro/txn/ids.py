@@ -1,0 +1,86 @@
+"""Globally unique transaction identifiers.
+
+A top-level identifier is ``(birth node, sequence number)``; the node name
+makes identifiers unique without coordination.  Subtransactions extend
+their parent's identifier with a path of child indices, so the family tree
+is recoverable from the identifier alone: ``n1.7`` is the top-level parent
+of ``n1.7/1`` and ``n1.7/1/2``.
+
+``BeginTransaction`` takes the special *null* identifier to create a new
+top-level transaction (Table 3-2); :data:`NULL_TID` plays that role.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class TransactionID:
+    """A transaction or subtransaction identifier."""
+
+    node: str
+    seq: int
+    path: tuple[int, ...] = ()
+
+    @property
+    def is_toplevel(self) -> bool:
+        return not self.path
+
+    @property
+    def is_null(self) -> bool:
+        return self.node == "" and self.seq == 0
+
+    @property
+    def toplevel(self) -> "TransactionID":
+        """The root of this transaction's family."""
+        return TransactionID(self.node, self.seq)
+
+    @property
+    def parent(self) -> "TransactionID | None":
+        """The immediate parent, or None for a top-level transaction."""
+        if not self.path:
+            return None
+        return TransactionID(self.node, self.seq, self.path[:-1])
+
+    def child(self, index: int) -> "TransactionID":
+        return TransactionID(self.node, self.seq, self.path + (index,))
+
+    def is_ancestor_of(self, other: "TransactionID") -> bool:
+        """True for proper descendants of ``self`` (not for self itself)."""
+        return (self.node == other.node and self.seq == other.seq
+                and len(other.path) > len(self.path)
+                and other.path[:len(self.path)] == self.path)
+
+    def __str__(self) -> str:
+        suffix = "".join(f"/{i}" for i in self.path)
+        return f"{self.node}.{self.seq}{suffix}"
+
+
+#: The null identifier passed to BeginTransaction for a new top-level
+#: transaction (Table 3-2).
+NULL_TID = TransactionID("", 0)
+
+
+@dataclass
+class TidFactory:
+    """Per-node allocator of identifiers.
+
+    ``epoch`` folds the node's restart count into the sequence space so
+    identifiers allocated after a crash can never collide with pre-crash
+    ones (the pre-crash counter is volatile).
+    """
+
+    node: str
+    epoch: int = 0
+    _seq: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    _child_counters: dict = field(default_factory=dict)
+
+    def new_toplevel(self) -> TransactionID:
+        return TransactionID(self.node, (self.epoch << 32) | next(self._seq))
+
+    def new_subtransaction(self, parent: TransactionID) -> TransactionID:
+        index = self._child_counters.get(parent, 0) + 1
+        self._child_counters[parent] = index
+        return parent.child(index)

@@ -1,0 +1,829 @@
+"""The Transaction Manager process.
+
+Responsibilities (Section 3.2.3): allocating globally unique transaction
+identifiers, tracking which data servers and remote sites act on behalf of
+each transaction, and driving the tree-structured two-phase commit protocol
+in which each node serves as coordinator for the nodes that are its
+children in the spanning tree recorded by the Communication Manager.
+
+Local request port (``transaction_manager`` service):
+
+====================  ========================================================
+``tm.begin``          allocate a (sub)transaction id; reply
+``tm.join``           a data server performed its first operation; ack
+``tm.remote_sites``   Communication Manager: remote sites now involved
+``tm.remote_arrived`` Communication Manager: a remote-born transaction is
+                      active here; ack back to the CM
+``tm.end``            commit request from the application; reply bool
+``tm.abort``          abort request; reply
+``tm.query_status``   current phase of a transaction; reply
+====================  ========================================================
+
+Datagram-borne protocol (arriving via the Communication Manager):
+``tm.prepare_req`` / ``tm.vote`` / ``tm.commit_req`` / ``tm.abort_req`` /
+``tm.ack`` / ``tm.outcome_query`` / ``tm.outcome_reply``.
+
+Commit of an update subtree follows presumed-abort conventions: a
+subordinate forces a PREPARED record before voting and a COMMITTED record
+before acknowledging; the coordinator forces its COMMITTED record before
+phase two and appends an unforced end record once all acknowledgements are
+in; an in-doubt subordinate that finds no coordinator state learns
+"aborted".  Read-only participants vote read-only, release their locks at
+prepare time, and drop out of phase two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.manager import SERVICE as CM_SERVICE
+from repro.errors import InvalidTransaction, TransactionAborted
+from repro.kernel.messages import Message
+from repro.kernel.node import Node
+from repro.kernel.ports import Port
+from repro.rpc.stubs import respond, respond_error
+from repro.sim import AllOf, AnyOf, Event, Timeout
+from repro.txn.ids import NULL_TID, TidFactory, TransactionID
+from repro.txn.status import TransactionState, TxnPhase
+
+SERVICE = "transaction_manager"
+
+#: How long the coordinator waits for votes before aborting.
+DEFAULT_VOTE_TIMEOUT_MS = 60_000.0
+#: How long phase two waits for an acknowledgement before retrying.
+DEFAULT_ACK_TIMEOUT_MS = 10_000.0
+#: Retry interval while resolving an in-doubt (prepared) transaction.
+RESOLVE_RETRY_MS = 5_000.0
+
+
+@dataclass
+class _Votes:
+    expected: set[str] = field(default_factory=set)
+    received: dict[str, str] = field(default_factory=dict)
+    done: Event | None = None
+
+
+class TransactionManager:
+    """One per node."""
+
+    def __init__(self, node: Node, recovery_manager) -> None:
+        self.node = node
+        self.ctx = node.ctx
+        self.rm = recovery_manager
+        self.port = node.create_port("tm")
+        node.register_service(SERVICE, self.port)
+        self.tids = TidFactory(node.name, epoch=node.epoch)
+        self._states: dict[TransactionID, TransactionState] = {}
+        #: per-transaction {server name: request port} for 2PC messages
+        self._server_ports: dict[TransactionID, dict[str, Port]] = {}
+        #: open vote/ack collections keyed by (kind, toplevel tid)
+        self._collections: dict[tuple[str, TransactionID], _Votes] = {}
+        self.vote_timeout_ms = DEFAULT_VOTE_TIMEOUT_MS
+        self.ack_timeout_ms = DEFAULT_ACK_TIMEOUT_MS
+        self.max_ack_retries = 3
+        #: how long a prepared subordinate waits before inquiring
+        self.prepared_inquiry_ms = 30_000.0
+        #: "checkpoints are performed at intervals determined by the
+        #: transaction manager" (Section 3.2.2): one every N commits.
+        #: None disables TM-driven checkpoints.
+        self.checkpoint_every_commits: int | None = None
+        self._commits_since_checkpoint = 0
+        self.commits = 0
+        self.aborts = 0
+        node.spawn(self._loop(), name="transaction-manager", defused=True)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _loop(self):
+        while True:
+            message = yield self.port.receive()
+            handler = getattr(self, "_handle_" + message.op.split(".")[-1],
+                              None)
+            if handler is None:
+                continue
+            self.node.spawn(handler(message), name=f"tm:{message.op}",
+                            defused=True)
+
+    def _state(self, tid: TransactionID) -> TransactionState:
+        try:
+            return self._states[tid]
+        except KeyError:
+            raise InvalidTransaction(
+                f"transaction {tid} is unknown on node "
+                f"{self.node.name!r}") from None
+
+    def _send_datagram(self, target: str, op: str, body: dict,
+                       tid: TransactionID) -> None:
+        payload = Message(op=op, tid=tid,
+                          body={**body, "service": SERVICE,
+                                "from": self.node.name, "tid": tid})
+        self.node.service(CM_SERVICE).send(Message(
+            op="cm.send_datagram", body={"target": target,
+                                         "payload": payload}))
+
+    # -- begin / join / bookkeeping ----------------------------------------------
+
+    def _handle_begin(self, message: Message):
+        yield self.ctx.cpu("TM", self.ctx.cpu_costs.tm_begin)
+        parent_tid: TransactionID = message.body.get("parent", NULL_TID)
+        if parent_tid.is_null:
+            tid = self.tids.new_toplevel()
+        else:
+            parent = self._state(parent_tid)
+            if parent.phase is not TxnPhase.ACTIVE:
+                respond_error(message, TransactionAborted(
+                    parent_tid, "parent is no longer active"))
+                return
+            tid = self.tids.new_subtransaction(parent_tid)
+            parent.children.add(tid)
+        self._states[tid] = TransactionState(tid)
+        self._server_ports[tid] = {}
+        respond(message, {"tid": tid})
+
+    def _handle_join(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        state = self._states.get(tid)
+        if state is None and not tid.is_toplevel:
+            # A remote subtransaction operating here: track under its own id.
+            state = self._states[tid] = TransactionState(tid)
+            self._server_ports[tid] = {}
+        if state is None:
+            respond_error(message, InvalidTransaction(str(tid)))
+            return
+        state.servers.add(message.body["server"])
+        self._server_ports[tid][message.body["server"]] = message.body["port"]
+        respond(message, {"ok": True})
+        return
+        yield  # pragma: no cover
+
+    def _handle_remote_sites(self, message: Message):
+        state = self._states.get(message.body["tid"])
+        if state is not None:
+            state.has_remote_sites = True
+        return
+        yield  # pragma: no cover
+
+    def _handle_remote_arrived(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        if tid not in self._states:
+            state = TransactionState(tid)
+            state.parent_node = message.body["parent_node"]
+            self._states[tid] = state
+            self._server_ports[tid] = {}
+        # Ack back to the Communication Manager (counted small message).
+        self.node.service(CM_SERVICE).send(
+            Message(op="cm.ack_remote", body={"tid": tid}))
+        return
+        yield  # pragma: no cover
+
+    def _handle_query_status(self, message: Message):
+        state = self._states.get(message.body["tid"])
+        respond(message, {
+            "phase": state.phase.value if state else "unknown"})
+        return
+        yield  # pragma: no cover
+
+    # -- subtransaction merge ------------------------------------------------------
+
+    def _merge_child_into_parent(self, child: TransactionID):
+        """Commit a subtransaction: fold its locks, write set, and undo
+        chain into its parent; the real commit happens with the top level."""
+        parent_tid = child.parent
+        assert parent_tid is not None
+        child_state = self._state(child)
+        parent_state = self._state(parent_tid)
+        # Deepest first: live grandchildren merge into the child before the
+        # child merges into the parent.
+        for grandchild in sorted(child_state.children,
+                                 key=lambda t: len(t.path), reverse=True):
+            if grandchild in self._states:
+                yield from self._merge_child_into_parent(grandchild)
+        for server, port in list(self._server_ports.get(child, {}).items()):
+            yield from self._call_server(
+                child, server, "ds.subtxn_commit",
+                {"child": child, "parent": parent_tid})
+            parent_state.servers.add(server)
+            self._server_ports[parent_tid].setdefault(server, port)
+        yield from self.rm.merge_chain_via_message(
+            self.node, child, parent_tid)
+        parent_state.children.discard(child)
+        parent_state.read_only = (parent_state.read_only
+                                  and child_state.read_only)
+        parent_state.has_remote_sites = (parent_state.has_remote_sites
+                                         or child_state.has_remote_sites)
+        self._forget(child)
+
+    def _merge_family_into(self, root_tid: TransactionID):
+        """Fold every live family member into the (top-level) root.
+
+        At the birth node this sweeps up unended subtransactions at
+        commit; at a subordinate it handles subtransactions that operated
+        here remotely -- they were tracked under their own identifiers
+        (the join arrived with the subtransaction's tid) and must merge
+        before the subtree prepares, or their servers and undo chains
+        would be invisible to two-phase commit.
+        """
+        members = sorted(
+            [tid for tid, state in self._states.items()
+             if tid != root_tid and tid.toplevel == root_tid.toplevel
+             and not state.phase.terminal],
+            key=lambda tid: len(tid.path), reverse=True)
+        for member in members:
+            parent_tid = member.parent
+            target = (parent_tid if parent_tid in self._states
+                      and parent_tid != member else root_tid)
+            if target == member:  # pragma: no cover - defensive
+                continue
+            member_state = self._states[member]
+            target_state = self._states[target]
+            for server, port in list(
+                    self._server_ports.get(member, {}).items()):
+                yield from self._call_server(
+                    member, server, "ds.subtxn_commit",
+                    {"child": member, "parent": target})
+                target_state.servers.add(server)
+                self._server_ports.setdefault(target, {}).setdefault(
+                    server, port)
+            yield from self.rm.merge_chain_via_message(self.node, member,
+                                                       target)
+            target_state.children.discard(member)
+            target_state.read_only = (target_state.read_only
+                                      and member_state.read_only)
+            target_state.has_remote_sites = (
+                target_state.has_remote_sites
+                or member_state.has_remote_sites)
+            self._forget(member)
+
+    def _call_port(self, port: Port, op: str, body: dict):
+        """Small-message request/response with a local process."""
+        reply_port = Port(self.ctx, node=self.node, name=f"tm-reply:{op}")
+        port.send(Message(op=op, body=body, reply_to=reply_port))
+        response = yield reply_port.receive()
+        if "error" in response.body:
+            raise response.body["error"]
+        return response.body
+
+    def _call_server(self, tid: TransactionID, server: str, op: str,
+                     body: dict, retries: int = 30,
+                     retry_ms: float = 1_000.0):
+        """Request/response with a data server, resilient to the server
+        process failing and being recovered mid-protocol: each retry
+        re-reads the (possibly rebound) port.  Raises after the retries
+        are exhausted."""
+        attempt = 0
+        while True:
+            port = self._server_ports.get(tid, {}).get(server)
+            if port is None:
+                raise InvalidTransaction(
+                    f"no port for server {server!r} under {tid}")
+            reply_port = Port(self.ctx, node=self.node,
+                              name=f"tm-reply:{op}")
+            port.send(Message(op=op, body=body, reply_to=reply_port))
+            deadline = Timeout(self.ctx.engine, retry_ms)
+            which, response = yield AnyOf(self.ctx.engine,
+                                          [reply_port.receive(), deadline])
+            if which == 0:
+                if "error" in response.body:
+                    raise response.body["error"]
+                return response.body
+            attempt += 1
+            if attempt >= retries:
+                raise TransactionAborted(
+                    tid, f"data server {server!r} unreachable for {op!r}")
+
+    # -- commit: application entry point --------------------------------------------
+
+    def _handle_end(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        try:
+            state = self._state(tid)
+        except InvalidTransaction as error:
+            respond_error(message, error)
+            return
+        if state.phase is TxnPhase.ABORTED:
+            respond(message, {"committed": False,
+                              "reason": state.abort_reason})
+            return
+        if not tid.is_toplevel:
+            # EndTransaction on a subtransaction merges it into its parent;
+            # permanence comes only with the top-level commit (Section 2.1.3).
+            yield from self._merge_child_into_parent(tid)
+            respond(message, {"committed": True})
+            return
+        yield self.ctx.cpu("TM", self.ctx.cpu_costs.tm_commit_read)
+        yield self.ctx.cpu("other", self.ctx.cpu_costs.tm_dispatch_slop)
+        # Live subtransactions commit with their parent.
+        yield from self._merge_family_into(tid)
+        committed = yield from self._commit_root(state)
+        respond(message, {"committed": committed,
+                          "reason": state.abort_reason})
+
+    def _commit_root(self, state: TransactionState):
+        tid = state.tid
+        children: list[str] = []
+        if state.has_remote_sites:
+            info = yield from self._call_port(
+                self.node.service(CM_SERVICE), "cm.spanning_info",
+                {"tid": tid})
+            children = [c for c in info["children"] if c != self.node.name]
+
+        vote = yield from self._prepare_subtree(state, children)
+        if vote == "abort":
+            yield from self._abort_subtree(state, children)
+            self.aborts += 1
+            return False
+        if vote == "read_only":
+            # No updates anywhere: note completion (unforced) and finish.
+            self.rm.note_txn_done(self.node, tid)
+            # Single-CPU serialization: the Recovery Manager's bookkeeping
+            # delays the application's next request on a real Perq.
+            yield Timeout(self.ctx.engine, self.ctx.cpu_costs.rm_read_txn)
+            self.commits += 1
+            self._forget(tid)
+            self._maybe_checkpoint()
+            return True
+
+        # Update transaction: force the commit record, then phase two.
+        yield from self.rm.append_status_via_message(
+            self.node, tid, "committed", servers=tuple(state.servers),
+            children=tuple(children), force=True)
+        yield self.ctx.cpu("TM", self.ctx.cpu_costs.tm_commit_write_extra)
+        state.advance(TxnPhase.COMMITTED)
+        if self.ctx.merged_architecture:
+            # Improved architecture: phase two overlaps succeeding
+            # transactions; the application's reply does not wait for it.
+            self.node.spawn(self._finish_phase_two(state, children),
+                            name=f"tm:lazy-p2:{tid}", defused=True)
+        else:
+            yield from self._finish_phase_two(state, children)
+        self.commits += 1
+        self._maybe_checkpoint()
+        return True
+
+    def _finish_phase_two(self, state: TransactionState,
+                          children: list[str]):
+        tid = state.tid
+        yield from self._phase_two(state, children, "commit")
+        if state.pending_acks:
+            # A child is unreachable: keep the committed state so its
+            # recovery can learn the outcome.  A stray ack completes us.
+            return
+        if children:
+            # The unforced end record stops recovery from re-driving phase
+            # two; a purely local commit needs none.
+            self.rm.note_txn_done(self.node, tid)
+        self._forget(tid)
+
+    def _maybe_checkpoint(self) -> None:
+        """TM-driven periodic checkpoints, counted in commits."""
+        if not self.checkpoint_every_commits:
+            return
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint < self.checkpoint_every_commits:
+            return
+        self._commits_since_checkpoint = 0
+        self.node.service("recovery_manager").send(Message(
+            op="rm.checkpoint",
+            body={"active_transactions": self.active_transactions()}))
+
+    # -- prepare phase -----------------------------------------------------------------
+
+    def _prepare_subtree(self, state: TransactionState,
+                         children: list[str]):
+        """Prepare local servers and child nodes; combined vote."""
+        tid = state.tid
+        state.advance(TxnPhase.PREPARING)
+        collection = None
+        if children:
+            collection = self._open_collection("vote", tid, children)
+            for child in children:
+                self._send_datagram(child, "tm.prepare_req", {}, tid)
+
+        local_vote = "read_only"
+        for server in list(self._server_ports.get(tid, {})):
+            try:
+                reply = yield from self._call_server(tid, server,
+                                                     "ds.prepare",
+                                                     {"tid": tid})
+            except Exception:
+                local_vote = "abort"
+                break
+            if reply["vote"] == "abort":
+                local_vote = "abort"
+                break
+            if reply["vote"] == "update":
+                local_vote = "update"
+
+        combined = local_vote
+        if collection is not None:
+            remote_votes = yield from self._await_collection(
+                "vote", tid, self.vote_timeout_ms)
+            if remote_votes is None or "abort" in remote_votes.values():
+                combined = "abort"
+            elif "update" in remote_votes.values() and combined != "abort":
+                combined = "update"
+        if combined != "abort":
+            state.read_only = combined == "read_only"
+        return combined
+
+    def _open_collection(self, kind: str, tid: TransactionID,
+                         expected: list[str]) -> _Votes:
+        votes = _Votes(expected=set(expected),
+                       done=Event(self.ctx.engine, name=f"{kind}:{tid}"))
+        self._collections[(kind, tid.toplevel)] = votes
+        return votes
+
+    def _await_collection(self, kind: str, tid: TransactionID,
+                          timeout_ms: float):
+        """Wait for all expected responses; None on timeout."""
+        votes = self._collections[(kind, tid.toplevel)]
+        deadline = Timeout(self.ctx.engine, timeout_ms)
+        which, _ = yield AnyOf(self.ctx.engine, [votes.done, deadline])
+        del self._collections[(kind, tid.toplevel)]
+        if which == 1 and len(votes.received) < len(votes.expected):
+            return None
+        return votes.received
+
+    def _handle_vote(self, message: Message):
+        self._record_response("vote", message)
+        return
+        yield  # pragma: no cover
+
+    def _handle_ack(self, message: Message):
+        self._record_response("ack", message)
+        return
+        yield  # pragma: no cover
+
+    def _record_response(self, kind: str, message: Message) -> None:
+        tid: TransactionID = message.body["tid"]
+        votes = self._collections.get((kind, tid.toplevel))
+        if votes is None:
+            if kind == "ack":
+                self._stray_ack(tid, message.body["from"])
+            return  # otherwise: stale response after a timeout-driven abort
+        votes.received[message.body["from"]] = message.body.get(kind, "")
+        if (set(votes.received) >= votes.expected
+                and not votes.done.triggered):
+            votes.done.succeed()
+
+    def _stray_ack(self, tid: TransactionID, child: str) -> None:
+        """A late phase-two ack from a child that crashed mid-protocol and
+        resolved the transaction through its own recovery."""
+        state = self._states.get(tid)
+        if state is None or not state.pending_acks:
+            return
+        state.pending_acks.discard(child)
+        if not state.pending_acks:
+            self.rm.note_txn_done(self.node, tid)
+            self._forget(tid)
+
+    # -- subordinate side ---------------------------------------------------------------
+
+    def _handle_prepare_req(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        coordinator: str = message.body["from"]
+        state = self._states.get(tid)
+        if state is None:
+            # The top level itself never operated here, but one of its
+            # subtransactions may have (tracked under its own id): give
+            # the family a root to merge into.
+            family_here = any(
+                other.toplevel == tid and not known.phase.terminal
+                for other, known in self._states.items())
+            if family_here:
+                state = TransactionState(tid)
+                state.parent_node = coordinator
+                self._states[tid] = state
+                self._server_ports.setdefault(tid, {})
+            else:
+                # We never saw the transaction (or already forgot a
+                # read-only participation): vote read-only.
+                self._send_datagram(coordinator, "tm.vote",
+                                    {"vote": "read_only"}, tid)
+                return
+
+        yield self.ctx.cpu("TM", self.ctx.cpu_costs.tm_commit_read)
+        yield from self._merge_family_into(tid)
+        yield self.ctx.cpu("other", self.ctx.cpu_costs.tm_dispatch_slop)
+        children: list[str] = []
+        if state.has_remote_sites:
+            # Interior node of the spanning tree: fetch our children from
+            # the Communication Manager.  Leaves skip the query.
+            info = self.node.service(CM_SERVICE)
+            spanning = yield from self._call_port(info, "cm.spanning_info",
+                                                  {"tid": tid})
+            children = [c for c in spanning["children"]
+                        if c not in (self.node.name, coordinator)]
+        try:
+            vote = yield from self._prepare_subtree(state, children)
+        except Exception:
+            vote = "abort"
+        if vote == "update":
+            yield from self.rm.append_status_via_message(
+                self.node, tid, "prepared", servers=tuple(state.servers),
+                children=tuple(children), coordinator=coordinator,
+                force=True)
+            state.advance(TxnPhase.PREPARED)
+            # Watchdog: if the outcome never arrives (lost datagram,
+            # coordinator hiccup), inquire rather than block forever.
+            self.node.spawn(self._watch_prepared(state),
+                            name=f"tm:watch:{tid}", defused=True)
+        elif vote == "read_only":
+            # Read-only optimization: locks are already released (servers
+            # release at prepare); drop out of phase two entirely.
+            self._forget(tid)
+        else:
+            yield from self._abort_subtree(state, children)
+        self._send_datagram(coordinator, "tm.vote", {"vote": vote}, tid)
+
+    def _handle_commit_req(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        coordinator: str = message.body["from"]
+        state = self._states.get(tid)
+        if state is not None:
+            yield self.ctx.cpu("TM", self.ctx.cpu_costs.tm_commit_write_extra)
+            yield from self._finish_prepared(state, commit=True)
+        # Ack even for unknown transactions: we may have committed and
+        # forgotten already, and commit_req datagrams can be retried.
+        self._send_datagram(coordinator, "tm.ack", {"ack": "committed"}, tid)
+
+    def _handle_abort_req(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        state = self._states.get(tid)
+        if state is not None:
+            children: list[str] = []
+            if state.has_remote_sites:
+                spanning = self.node.service(CM_SERVICE)
+                info = yield from self._call_port(
+                    spanning, "cm.spanning_info", {"tid": tid})
+                children = [c for c in info["children"]
+                            if c not in (self.node.name,
+                                         message.body["from"])]
+            yield from self._abort_subtree(state, children)
+        self._send_datagram(message.body["from"], "tm.ack",
+                            {"ack": "aborted"}, tid)
+
+    def _finish_prepared(self, state: TransactionState, commit: bool):
+        """Phase two at a prepared subordinate (also used after recovery)."""
+        tid = state.tid
+        children: list[str] = []
+        if state.has_remote_sites:
+            spanning = self.node.service(CM_SERVICE)
+            info = yield from self._call_port(spanning, "cm.spanning_info",
+                                              {"tid": tid})
+            children = [c for c in info["children"]
+                        if c not in (self.node.name, state.parent_node)]
+        if commit:
+            # Force our COMMITTED record before acknowledging (presumed
+            # abort: once we ack, the coordinator may forget the outcome).
+            yield from self.rm.append_status_via_message(
+                self.node, tid, "committed", servers=tuple(state.servers),
+                children=tuple(children), force=True)
+            state.advance(TxnPhase.COMMITTED)
+            yield from self._phase_two(state, children, "commit")
+        else:
+            yield from self._abort_subtree(state, children)
+            return
+        self.rm.note_txn_done(self.node, tid)
+        self._forget(tid)
+
+    # -- phase two ----------------------------------------------------------------------
+
+    def _phase_two(self, state: TransactionState, children: list[str],
+                   outcome: str):
+        """Deliver the outcome to local servers and child nodes.
+
+        Local servers are awaited.  Remote children are retried a bounded
+        number of times; any that stay silent (crashed mid-protocol) remain
+        in ``state.pending_acks`` and the coordinator keeps the
+        transaction's state so the child's recovery-time outcome query can
+        be answered -- completion then arrives as a stray ack.
+        """
+        tid = state.tid
+        state.pending_acks = set(children)
+        collection = None
+        if children:
+            collection = self._open_collection("ack", tid, children)
+            for child in children:
+                self._send_datagram(child, f"tm.{outcome}_req", {}, tid)
+        for server in list(self._server_ports.get(tid, {})):
+            try:
+                yield from self._call_server(tid, server, f"ds.{outcome}",
+                                             {"tid": tid})
+            except Exception:
+                # An unreachable server lost its volatile state with its
+                # process; there is nothing left to release there.
+                continue
+        if collection is None:
+            return
+        acks = yield from self._await_collection("ack", tid,
+                                                 self.ack_timeout_ms)
+        state.pending_acks -= set(acks or {})
+        retries = 0
+        while state.pending_acks and retries < self.max_ack_retries:
+            retries += 1
+            pending = sorted(state.pending_acks)
+            self._open_collection("ack", tid, pending)
+            for child in pending:
+                self._send_datagram(child, f"tm.{outcome}_req", {}, tid)
+            acks = yield from self._await_collection("ack", tid,
+                                                     self.ack_timeout_ms)
+            state.pending_acks -= set(acks or {})
+
+    # -- abort ---------------------------------------------------------------------------
+
+    def _handle_abort(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        state = self._states.get(tid)
+        if state is None or state.phase.terminal:
+            respond(message, {"aborted": True})
+            return
+        children: list[str] = []
+        if state.has_remote_sites:
+            # The spanning tree is kept per family; an aborting
+            # subtransaction ships its own tid to the same children, and
+            # nodes that never served it simply acknowledge.
+            info = yield from self._call_port(
+                self.node.service(CM_SERVICE), "cm.spanning_info",
+                {"tid": tid})
+            children = [c for c in info["children"] if c != self.node.name]
+        yield from self._abort_subtree(state, children,
+                                       reason=message.body.get("reason", ""))
+        respond(message, {"aborted": True})
+
+    def _abort_subtree(self, state: TransactionState, children: list[str],
+                       reason: str = ""):
+        """Undo local effects, release locks, and abort child nodes.
+
+        Aborting a subtransaction does not abort its parent (Section 2.1.3);
+        aborting a parent aborts all its live descendants.
+        """
+        tid = state.tid
+        for child_tid in sorted(state.children, key=lambda t: len(t.path),
+                                reverse=True):
+            child_state = self._states.get(child_tid)
+            if child_state is not None:
+                yield from self._abort_subtree(child_state, [])
+        collection = None
+        if children:
+            collection = self._open_collection("ack", tid, children)
+            for child in children:
+                self._send_datagram(child, "tm.abort_req", {}, tid)
+        # The Recovery Manager follows the transaction's backward chain and
+        # instructs servers to undo their effects (Section 3.2.2) ...
+        yield from self.rm.abort_via_message(self.node, tid)
+        # ... then the servers drop the transaction and release its locks.
+        for server in list(self._server_ports.get(tid, {})):
+            try:
+                yield from self._call_server(tid, server, "ds.abort",
+                                             {"tid": tid})
+            except Exception:
+                continue  # a dead server has no locks left to release
+        if collection is not None:
+            yield from self._await_collection("ack", tid,
+                                              self.vote_timeout_ms)
+        if not state.phase.terminal:
+            state.advance(TxnPhase.ABORTED)
+        state.abort_reason = reason or state.abort_reason or "aborted"
+        self.aborts += 1
+        parent = self._states.get(tid.parent) if tid.parent else None
+        if parent is not None:
+            parent.children.discard(tid)
+        self._forget(tid, keep_tombstone=True)
+
+    def _forget(self, tid: TransactionID, keep_tombstone: bool = False) -> None:
+        self._server_ports.pop(tid, None)
+        if keep_tombstone:
+            # Keep the aborted state so late arrivals (ops, EndTransaction)
+            # get TransactionIsAborted rather than InvalidTransaction.
+            return
+        self._states.pop(tid, None)
+
+    # -- recovery resolution ------------------------------------------------------------
+
+    def restore_prepared(self, tid: TransactionID, coordinator: str,
+                         servers: tuple[str, ...],
+                         server_ports: dict[str, Port],
+                         children: tuple[str, ...] = ()) -> None:
+        """Called by the facility after crash recovery for each in-doubt
+        transaction found in the log; resolution starts immediately."""
+        state = TransactionState(tid, phase=TxnPhase.PREPARED)
+        state.parent_node = coordinator
+        state.servers = set(servers)
+        state.has_remote_sites = bool(children)
+        self._states[tid] = state
+        self._server_ports[tid] = dict(server_ports)
+        self.node.spawn(self._resolve_in_doubt(state),
+                        name=f"tm:resolve:{tid}", defused=True)
+
+    def restore_committed_unacked(self, tid: TransactionID,
+                                  children: tuple[str, ...]) -> None:
+        """A coordinator's commit record without an end record: phase two
+        may not have completed; repeat it (idempotent at the children)."""
+        state = TransactionState(tid, phase=TxnPhase.COMMITTED)
+        self._states[tid] = state
+        self._server_ports[tid] = {}
+
+        def rerun():
+            yield from self._phase_two(state, list(children), "commit")
+            self.rm.note_txn_done(self.node, tid)
+            self._forget(tid)
+
+        self.node.spawn(rerun(), name=f"tm:reship:{tid}", defused=True)
+
+    def _watch_prepared(self, state: TransactionState):
+        """Self-inquiry for a subordinate stuck in PREPARED: after the
+        inquiry delay, ask the coordinator for the outcome directly."""
+        yield Timeout(self.ctx.engine, self.prepared_inquiry_ms)
+        current = self._states.get(state.tid)
+        if current is state and state.phase is TxnPhase.PREPARED:
+            yield from self._resolve_in_doubt(state)
+
+    def _resolve_in_doubt(self, state: TransactionState):
+        """Blocking resolution: ask the coordinator until it answers.
+
+        This is two-phase commit's blocking window -- the prepared data
+        stays locked until the coordinator recovers, exactly the failure
+        mode the paper acknowledges for its choice of protocol.
+        """
+        tid = state.tid
+        while True:
+            if (self._states.get(tid) is not state
+                    or state.phase is not TxnPhase.PREPARED):
+                return  # the outcome arrived through the normal channel
+            collection = self._open_collection("outcome", tid,
+                                               [state.parent_node])
+            self._send_datagram(state.parent_node, "tm.outcome_query", {},
+                                tid)
+            replies = yield from self._await_collection(
+                "outcome", tid, RESOLVE_RETRY_MS)
+            if replies:
+                if (self._states.get(tid) is not state
+                        or state.phase is not TxnPhase.PREPARED):
+                    return  # resolved through the normal channel meanwhile
+                outcome = replies[state.parent_node]
+                yield from self._finish_prepared(
+                    state, commit=(outcome == "committed"))
+                # The coordinator may still be holding the transaction open
+                # waiting for our phase-two acknowledgement.
+                self._send_datagram(state.parent_node, "tm.ack",
+                                    {"ack": outcome}, tid)
+                return
+
+    def _handle_outcome_query(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        state = self._states.get(tid)
+        if state is not None and state.phase is TxnPhase.COMMITTED:
+            outcome = "committed"
+        elif state is not None and state.phase in (TxnPhase.PREPARED,
+                                                   TxnPhase.PREPARING,
+                                                   TxnPhase.ACTIVE):
+            return  # not decided yet; the subordinate will ask again
+        else:
+            outcome = "aborted"  # presumed abort: no state means no commit
+        self._send_datagram(message.body["from"], "tm.outcome_reply",
+                            {"outcome": outcome}, tid)
+        return
+        yield  # pragma: no cover
+
+    def _handle_outcome_reply(self, message: Message):
+        tid: TransactionID = message.body["tid"]
+        votes = self._collections.get(("outcome", tid.toplevel))
+        if votes is None:
+            return
+        votes.received[message.body["from"]] = message.body["outcome"]
+        if not votes.done.triggered:
+            votes.done.succeed()
+        return
+        yield  # pragma: no cover
+
+    # -- single-server recovery support ----------------------------------------------------
+
+    def rebind_server_port(self, server: str, port: Port) -> None:
+        """A data server was re-created: point its pending transactions'
+        2PC messages at the new request port."""
+        for ports in self._server_ports.values():
+            if server in ports:
+                ports[server] = port
+
+    def transactions_with_server(self, server: str) -> list[TransactionID]:
+        """Non-terminal, non-prepared transactions this server joined.
+
+        These lost their server-side state (locks, buffered write sets)
+        when the server process died and must be aborted; prepared
+        transactions instead get their locks re-acquired from the log.
+        """
+        return [tid for tid, state in self._states.items()
+                if server in state.servers
+                and not state.phase.terminal
+                and state.phase is not TxnPhase.PREPARED]
+
+    # -- introspection -------------------------------------------------------------------
+
+    def phase_of(self, tid: TransactionID) -> TxnPhase | None:
+        state = self._states.get(tid)
+        return state.phase if state else None
+
+    def active_transactions(self) -> dict[TransactionID, str]:
+        return {tid: state.phase.value for tid, state in self._states.items()
+                if not state.phase.terminal}

@@ -1,0 +1,82 @@
+"""The non-volatile log store.
+
+An append-only sequence of records with bounded capacity.  On the paper's
+Perqs the log lived on the single (non-stable) disk; we likewise treat it as
+non-volatile -- it survives node crashes -- and do not model media failure.
+
+Capacity is bounded (in records) so that log reclamation (Section 3.2.2) has
+something to do: when the log is close to full, the Recovery Manager runs a
+reclamation algorithm that may force pages to disk so old records can be
+truncated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LogFull, WriteAheadLogError
+from repro.wal.records import LogRecord
+
+
+class LogStore:
+    """Append-only non-volatile record storage with truncation."""
+
+    def __init__(self, capacity_records: int = 100_000) -> None:
+        if capacity_records < 1:
+            raise WriteAheadLogError("log store needs capacity >= 1")
+        self.capacity_records = capacity_records
+        self._records: list[LogRecord] = []
+        #: LSNs below this have been reclaimed
+        self.truncated_before = 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def free_records(self) -> int:
+        return self.capacity_records - len(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        return self._records[-1].lsn if self._records else 0
+
+    def append(self, records: list[LogRecord]) -> None:
+        """Durably append ``records`` (already holding their LSNs)."""
+        if len(self._records) + len(records) > self.capacity_records:
+            raise LogFull(
+                f"log store full ({len(self._records)}/{self.capacity_records} "
+                "records); reclamation failed to make room")
+        for record in records:
+            if record.lsn <= self.last_lsn:
+                raise WriteAheadLogError(
+                    f"append out of order: lsn {record.lsn} after {self.last_lsn}")
+            self._records.append(record)
+
+    def read_forward(self, from_lsn: int = 1) -> list[LogRecord]:
+        """All durable records with ``lsn >= from_lsn``, oldest first."""
+        if from_lsn < self.truncated_before:
+            raise WriteAheadLogError(
+                f"lsn {from_lsn} was reclaimed (log starts at "
+                f"{self.truncated_before})")
+        return [r for r in self._records if r.lsn >= from_lsn]
+
+    def read_backward(self, from_lsn: int | None = None) -> list[LogRecord]:
+        """Durable records from ``from_lsn`` (default: the end) backwards."""
+        records = self._records if from_lsn is None else [
+            r for r in self._records if r.lsn <= from_lsn]
+        return list(reversed(records))
+
+    def record_at(self, lsn: int) -> LogRecord:
+        for record in self._records:
+            if record.lsn == lsn:
+                return record
+        raise WriteAheadLogError(f"no durable record with lsn {lsn}")
+
+    def truncate_before(self, lsn: int) -> int:
+        """Reclaim records with ``lsn`` strictly below the given point.
+
+        Returns the number of records reclaimed.
+        """
+        keep = [r for r in self._records if r.lsn >= lsn]
+        reclaimed = len(self._records) - len(keep)
+        self._records = keep
+        self.truncated_before = max(self.truncated_before, lsn)
+        return reclaimed

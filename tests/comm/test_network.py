@@ -1,0 +1,167 @@
+"""Tests for the network fabric, sessions, and Communication Manager."""
+
+import pytest
+
+from repro.comm.manager import CommunicationManager
+from repro.comm.network import Network
+from repro.comm.sessions import Session, SessionTable
+from repro.errors import CommunicationError, SessionBroken
+from repro.kernel.context import SimContext
+from repro.kernel.costs import ZERO_COST, Primitive, ZERO_CPU
+from repro.kernel.messages import Message
+from repro.kernel.node import Node
+from repro.txn.ids import TransactionID
+
+
+@pytest.fixture
+def ctx():
+    return SimContext(profile=ZERO_COST, cpu_costs=ZERO_CPU)
+
+
+def make_pair(ctx, loss=0.0):
+    network = Network(ctx, datagram_loss_rate=loss)
+    nodes, managers = {}, {}
+    for name in ("a", "b"):
+        node = Node(ctx, name)
+        manager = CommunicationManager(node, network)
+        nodes[name], managers[name] = node, manager
+    return network, nodes, managers
+
+
+class TestNetwork:
+    def test_registry(self, ctx):
+        network, nodes, managers = make_pair(ctx)
+        assert network.node("a") is nodes["a"]
+        assert network.manager("b") is managers["b"]
+        assert sorted(network.node_names()) == ["a", "b"]
+        with pytest.raises(CommunicationError):
+            network.node("ghost")
+
+    def test_liveness_tracks_crash(self, ctx):
+        network, nodes, _ = make_pair(ctx)
+        assert network.is_up("a")
+        nodes["a"].crash()
+        assert not network.is_up("a")
+
+    def test_bad_loss_rate_rejected(self, ctx):
+        with pytest.raises(CommunicationError):
+            Network(ctx, datagram_loss_rate=1.5)
+
+    def test_datagram_to_down_node_is_dropped(self, ctx):
+        network, nodes, _ = make_pair(ctx)
+        nodes["b"].crash()
+        network.deliver_datagram("b", Message(op="x"), latency_ms=1.0)
+        ctx.engine.run()
+        assert network.datagrams_lost == 1
+
+    def test_datagram_loss_injection(self, ctx):
+        network, _, managers = make_pair(ctx)
+        network.datagram_loss_rate = 1.0  # always lose
+        network.datagram_loss_rate = 0.999999
+        for _ in range(20):
+            network.deliver_datagram("b", Message(op="x"), latency_ms=0.0)
+        ctx.engine.run()
+        assert network.datagrams_lost == 20
+
+
+class TestSessions:
+    def test_session_to_down_node_fails(self, ctx):
+        network, nodes, _ = make_pair(ctx)
+        nodes["b"].crash()
+        with pytest.raises(SessionBroken):
+            Session(network, "a", "b")
+
+    def test_session_breaks_on_peer_crash(self, ctx):
+        network, nodes, _ = make_pair(ctx)
+        session = Session(network, "a", "b")
+        assert session.usable
+        nodes["b"].crash()
+        with pytest.raises(SessionBroken):
+            session.check()
+        assert session.broken
+
+    def test_session_stays_broken_after_peer_restart(self, ctx):
+        """At-most-once needs the peer's session state, which a restart
+        destroyed: the old session is permanently dead."""
+        network, nodes, _ = make_pair(ctx)
+        session = Session(network, "a", "b")
+        nodes["b"].crash()
+        nodes["b"].restart()
+        assert network.is_up("b")
+        with pytest.raises(SessionBroken):
+            session.check()
+
+    def test_session_table_reestablishes(self, ctx):
+        network, nodes, _ = make_pair(ctx)
+        table = SessionTable(network, "a")
+        first = table.session_to("b")
+        nodes["b"].crash()
+        nodes["b"].restart()
+        second = table.session_to("b")
+        assert second is not first
+        assert second.usable
+
+    def test_sequence_numbers_advance(self, ctx):
+        network, _, _ = make_pair(ctx)
+        session = Session(network, "a", "b")
+        assert session.next_sequence() == 1
+        assert session.next_sequence() == 2
+
+
+class TestSpanningTree:
+    def tid(self, node="a"):
+        return TransactionID(node, 1)
+
+    def test_outbound_recording(self, ctx):
+        _, _, managers = make_pair(ctx)
+        tid = self.tid()
+        managers["a"].record_outbound(tid, "b")
+        record = managers["a"].spanning_record(tid)
+        assert record.children == {"b"}
+        assert record.parent == ""
+
+    def test_inbound_sets_parent_once(self, ctx):
+        _, _, managers = make_pair(ctx)
+        tid = self.tid("a")
+        managers["b"].record_inbound(tid, "a")
+        managers["b"].record_inbound(tid, "a")
+        record = managers["b"].spanning_record(tid)
+        assert record.parent == "a"
+
+    def test_birth_node_never_gets_a_parent(self, ctx):
+        """A callback to the transaction's birth node must not make the
+        caller its parent (the birth node is the root)."""
+        _, _, managers = make_pair(ctx)
+        tid = self.tid("a")
+        managers["a"].record_outbound(tid, "b")
+        managers["a"].record_inbound(tid, "b")  # b calls back into a
+        assert managers["a"].spanning_record(tid).parent == ""
+
+    def test_subtransactions_share_the_family_tree(self, ctx):
+        _, _, managers = make_pair(ctx)
+        parent = self.tid("a")
+        child = parent.child(1)
+        managers["a"].record_outbound(parent, "b")
+        managers["a"].record_outbound(child, "b")
+        record = managers["a"].spanning_record(parent)
+        assert record.children == {"b"}
+
+    def test_child_epoch_recorded_for_crash_detection(self, ctx):
+        network, nodes, managers = make_pair(ctx)
+        tid = self.tid()
+        managers["a"].record_outbound(tid, "b")
+        assert managers["a"].spanning_record(tid).child_epochs == {"b": 0}
+
+    def test_datagram_roundtrip_via_managers(self, ctx):
+        """cm.send_datagram delivers to the remote node's named service."""
+        network, nodes, managers = make_pair(ctx)
+        target_port = nodes["b"].create_port("svc")
+        nodes["b"].register_service("transaction_manager", target_port)
+        payload = Message(op="tm.hello", body={"x": 1})
+        managers["a"].port.send(Message(
+            op="cm.send_datagram", body={"target": "b",
+                                         "payload": payload}))
+        message = ctx.engine.run_until(target_port.receive())
+        assert message.op == "tm.hello"
+        assert message.sender_node == "a"
+        assert ctx.meter.count(Primitive.DATAGRAM) == 1

@@ -1,0 +1,100 @@
+"""Tests for the TABS node/cluster assembly (Figure 3-1)."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig, TabsError
+from repro.kernel.costs import ACHIEVABLE_1985, MEASURED_1985
+from repro.servers.int_array import IntegerArrayServer
+
+
+def test_component_inventory_matches_figure_3_1():
+    """A TABS node runs the four system components of Figure 3-1 plus the
+    user data servers."""
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    cluster.start()
+    inventory = cluster.node("n1").component_inventory()
+    assert inventory == {
+        "name_server": "name dissemination",
+        "communication_manager": "network communication",
+        "recovery_manager": "recovery and log management",
+        "transaction_manager": "transaction management",
+        "array": "data server",
+    }
+
+
+def test_all_four_services_registered():
+    cluster = TabsCluster(TabsConfig())
+    tabs = cluster.add_node("n1")
+    for service in ("name_server", "communication_manager",
+                    "recovery_manager", "transaction_manager"):
+        assert tabs.node.service(service).alive
+
+
+def test_duplicate_node_rejected():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    with pytest.raises(TabsError):
+        cluster.add_node("n1")
+
+
+def test_duplicate_server_rejected():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    with pytest.raises(TabsError):
+        cluster.add_server("n1", IntegerArrayServer.factory("array"))
+
+
+def test_unknown_node_rejected():
+    cluster = TabsCluster(TabsConfig())
+    with pytest.raises(TabsError):
+        cluster.node("ghost")
+
+
+def test_segment_va_allocation_never_overlaps():
+    cluster = TabsCluster(TabsConfig())
+    tabs = cluster.add_node("n1")
+    first = tabs.allocate_segment_va()
+    second = tabs.allocate_segment_va()
+    assert second > first
+    assert second - first >= IntegerArrayServer.SEGMENT_PAGES * 512
+
+
+def test_config_presets():
+    assert TabsConfig.measured().profile is MEASURED_1985
+    assert not TabsConfig.measured().merged_architecture
+    assert TabsConfig.improved_architecture().merged_architecture
+    assert TabsConfig.improved_architecture().profile is MEASURED_1985
+    new = TabsConfig.new_primitives()
+    assert new.merged_architecture and new.profile is ACHIEVABLE_1985
+
+
+def test_config_with_override():
+    config = TabsConfig().with_(lock_timeout_ms=1.0)
+    assert config.lock_timeout_ms == 1.0
+    assert config.profile is MEASURED_1985
+
+
+def test_merged_architecture_flag_reaches_context():
+    cluster = TabsCluster(TabsConfig.improved_architecture())
+    assert cluster.ctx.merged_architecture
+
+
+def test_settle_drains_background_work():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    cluster.start()
+    cluster.settle()
+    assert cluster.engine.pending_count() == 0
+
+
+def test_last_recovery_report_recorded():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    cluster.start()
+    assert cluster.node("n1").last_recovery is not None
+    assert cluster.node("n1").last_recovery.log_records_scanned == 0

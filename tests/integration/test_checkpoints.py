@@ -1,0 +1,86 @@
+"""Transaction-Manager-driven periodic checkpoints (Section 3.2.2)."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.int_array import IntegerArrayServer
+
+
+def build(checkpoint_every=None):
+    cluster = TabsCluster(TabsConfig(
+        checkpoint_every_commits=checkpoint_every))
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    cluster.start()
+    return cluster
+
+
+def run_writes(cluster, count):
+    app = cluster.application("n1")
+    for index in range(count):
+        def body(tid, index=index):
+            ref = yield from app.lookup_one("array")
+            yield from app.call(ref, "set_cell",
+                                {"cell": (index % 5) + 1,
+                                 "value": index}, tid)
+        cluster.run_transaction("n1", body)
+    cluster.settle()
+
+
+def test_checkpoints_fire_at_the_configured_cadence():
+    cluster = build(checkpoint_every=5)
+    tabs = cluster.node("n1")
+    baseline = tabs.rm.checkpoints_taken  # startup clean-point checkpoint
+    run_writes(cluster, 17)
+    assert tabs.rm.checkpoints_taken - baseline == 3  # at 5, 10, 15
+
+
+def test_no_checkpoints_when_disabled():
+    cluster = build(checkpoint_every=None)
+    tabs = cluster.node("n1")
+    baseline = tabs.rm.checkpoints_taken
+    run_writes(cluster, 17)
+    assert tabs.rm.checkpoints_taken == baseline
+
+
+def test_checkpoint_records_active_transactions():
+    cluster = build(checkpoint_every=1)
+    app = cluster.application("n1")
+    from repro.sim import Timeout
+
+    def lingering():
+        tid = yield from app.begin_transaction()
+        ref = yield from app.lookup_one("array")
+        yield from app.call(ref, "set_cell", {"cell": 9, "value": 1}, tid)
+        yield Timeout(cluster.engine, 60_000.0)
+        return tid
+
+    process = cluster.spawn_on("n1", lingering())
+    cluster.engine.run(until=cluster.engine.now + 1_000.0)
+    run_writes(cluster, 2)  # each commit checkpoints
+
+    from repro.wal.records import CheckpointRecord
+    tabs = cluster.node("n1")
+    durable = tabs.rm.wal.read_forward(tabs.rm.wal.store.truncated_before)
+    checkpoints = [r for r in durable if isinstance(r, CheckpointRecord)]
+    assert checkpoints
+    assert checkpoints[-1].active_transactions  # the lingering txn shows
+    process.kill("test over")
+
+
+def test_recovery_after_periodic_checkpoints_is_bounded():
+    cluster = build(checkpoint_every=5)
+    run_writes(cluster, 40)
+    cluster.crash_node("n1")
+    report = cluster.restart_node("n1")
+    # The scan is bounded by the latest checkpoint's horizon, not the
+    # whole history of 40 transactions.
+    assert report.values_restored <= 12
+    app = cluster.application("n1")
+
+    def read(tid):
+        ref = yield from app.lookup_one("array")
+        result = yield from app.call(ref, "get_cell", {"cell": 5}, tid)
+        return result["value"]
+
+    assert cluster.run_transaction("n1", read) == 39

@@ -1,0 +1,175 @@
+"""Concurrent-transaction behaviour: isolation, fairness, determinism."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig, TransactionAborted
+from repro.servers.int_array import IntegerArrayServer
+from repro.sim import Timeout
+from tests.property.conftest import fast_config
+
+
+def build(config=None):
+    cluster = TabsCluster(config or fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("array"))
+    cluster.start()
+    return cluster
+
+
+def test_many_disjoint_writers_all_commit():
+    cluster = build()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("array"))
+    outcomes = []
+
+    def writer(index):
+        for round_number in range(5):
+            tid = yield from app.begin_transaction()
+            yield from app.call(ref, "set_cell",
+                                {"cell": index + 1,
+                                 "value": round_number}, tid)
+            ok = yield from app.end_transaction(tid)
+            outcomes.append(ok)
+
+    workers = [cluster.spawn_on("n1", writer(index)) for index in range(8)]
+    for worker in workers:
+        cluster.engine.run_until(worker)
+    assert outcomes == [True] * 40
+
+    def verify(tid):
+        values = []
+        for cell in range(1, 9):
+            result = yield from app.call(ref, "get_cell", {"cell": cell},
+                                         tid)
+            values.append(result["value"])
+        return values
+
+    assert cluster.run_transaction("n1", verify) == [4] * 8
+
+
+def test_conflicting_increments_serialize_correctly():
+    """Thirty-two concurrent increments of one cell; two-phase locking
+    makes the interleaving equivalent to some serial order, so no
+    increment is lost.  (The increments take the write lock up front; a
+    read-then-upgrade pattern would deadlock among the readers -- that
+    pathology is exercised in the retry test below.)"""
+    from repro.servers.op_array import OperationArrayServer
+
+    cluster = TabsCluster(fast_config(lock_timeout_ms=300_000.0))
+    cluster.add_node("n1")
+    cluster.add_server("n1", OperationArrayServer.factory("counter"))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("counter"))
+
+    def incrementer():
+        for _ in range(4):
+            tid = yield from app.begin_transaction()
+            yield from app.call(ref, "add_cell",
+                                {"cell": 1, "delta": 1}, tid)
+            ok = yield from app.end_transaction(tid)
+            assert ok
+
+    workers = [cluster.spawn_on("n1", incrementer()) for _ in range(8)]
+    for worker in workers:
+        cluster.engine.run_until(worker)
+
+    def read(tid):
+        result = yield from app.call(ref, "get_cell", {"cell": 1}, tid)
+        return result["value"]
+
+    assert cluster.run_transaction("n1", read) == 32
+
+
+def test_retry_loop_recovers_from_deadlocks():
+    """Transactions locking two cells in opposite orders deadlock; the
+    application-library retry loop (time-out -> abort -> retry) makes
+    them all eventually commit."""
+    cluster = build(fast_config(lock_timeout_ms=500.0))
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("array"))
+    commits = []
+
+    def worker(first, second, value):
+        def body(tid):
+            yield from app.call(ref, "set_cell",
+                                {"cell": first, "value": value}, tid)
+            yield Timeout(cluster.engine, 50.0)
+            yield from app.call(ref, "set_cell",
+                                {"cell": second, "value": value}, tid)
+
+        def run():
+            yield from app.run_transaction(body, retries=10)
+            commits.append((first, second))
+
+        return run()
+
+    workers = [cluster.spawn_on("n1", worker(1, 2, 10)),
+               cluster.spawn_on("n1", worker(2, 1, 20)),
+               cluster.spawn_on("n1", worker(1, 2, 30))]
+    for process in workers:
+        cluster.engine.run_until(process)
+    assert len(commits) == 3
+
+    def read(tid):
+        first = yield from app.call(ref, "get_cell", {"cell": 1}, tid)
+        second = yield from app.call(ref, "get_cell", {"cell": 2}, tid)
+        return first["value"], second["value"]
+
+    # Whichever order they serialized in, both cells carry the same
+    # (last) writer's value -- the deadlock was broken, nothing was lost.
+    first, second = cluster.run_transaction("n1", read)
+    assert first in (10, 20, 30) and second in (10, 20, 30)
+
+
+def test_readers_share_while_writer_waits():
+    cluster = build()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("array"))
+    log = []
+
+    def reader(name):
+        tid = yield from app.begin_transaction()
+        yield from app.call(ref, "get_cell", {"cell": 1}, tid)
+        log.append((name, "read", cluster.engine.now))
+        yield Timeout(cluster.engine, 2_000.0)
+        yield from app.end_transaction(tid)
+
+    def writer():
+        yield Timeout(cluster.engine, 100.0)
+        tid = yield from app.begin_transaction()
+        yield from app.call(ref, "set_cell", {"cell": 1, "value": 1}, tid)
+        log.append(("writer", "wrote", cluster.engine.now))
+        yield from app.end_transaction(tid)
+
+    workers = [cluster.spawn_on("n1", reader("r1")),
+               cluster.spawn_on("n1", reader("r2")),
+               cluster.spawn_on("n1", writer())]
+    for process in workers:
+        cluster.engine.run_until(process)
+    reads = [at for name, what, at in log if what == "read"]
+    wrote = next(at for _, what, at in log if what == "wrote")
+    # Both readers ran concurrently; the writer waited for both commits.
+    assert max(reads) < 2_000.0
+    assert wrote >= 2_000.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        """The whole simulation is deterministic: identical configs give
+        identical clocks, counters, and results."""
+        from repro.perf.benchmarks import BENCHMARKS_BY_KEY, run_benchmark
+
+        first = run_benchmark(BENCHMARKS_BY_KEY["w1w1"], iterations=5)
+        second = run_benchmark(BENCHMARKS_BY_KEY["w1w1"], iterations=5)
+        assert first.elapsed_ms == second.elapsed_ms
+        assert first.precommit_counts == second.precommit_counts
+        assert first.commit_counts == second.commit_counts
+        assert first.tabs_process_ms == second.tabs_process_ms
+
+    def test_random_paging_reproducible_via_seed(self):
+        from repro.perf.benchmarks import BENCHMARKS_BY_KEY, run_benchmark
+
+        first = run_benchmark(BENCHMARKS_BY_KEY["r1_rand"], iterations=10)
+        second = run_benchmark(BENCHMARKS_BY_KEY["r1_rand"], iterations=10)
+        assert first.elapsed_ms == second.elapsed_ms

@@ -1,0 +1,272 @@
+"""Crash/restart scenarios for both recovery algorithms."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.int_array import IntegerArrayServer
+from repro.servers.op_array import OperationArrayServer
+
+
+def make_cluster(server_factory=None):
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1",
+                       server_factory or IntegerArrayServer.factory("array"))
+    cluster.start()
+    return cluster
+
+
+def run_set(cluster, app, cell, value, name="array"):
+    def body(tid):
+        ref = yield from app.lookup_one(name)
+        yield from app.call(ref, "set_cell",
+                            {"cell": cell, "value": value}, tid)
+    cluster.run_transaction("n1", body)
+
+
+def run_get(cluster, app, cell, name="array"):
+    def body(tid):
+        ref = yield from app.lookup_one(name)
+        result = yield from app.call(ref, "get_cell", {"cell": cell}, tid)
+        return result["value"]
+    return cluster.run_transaction("n1", body)
+
+
+class TestValueLoggingRecovery:
+    def test_committed_updates_survive_crash(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        for cell in range(1, 6):
+            run_set(cluster, app, cell, cell * 11)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert [run_get(cluster, app, cell) for cell in range(1, 6)] == \
+            [11, 22, 33, 44, 55]
+
+    def test_uncommitted_update_is_undone_by_crash(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        run_set(cluster, app, 1, 10)
+
+        def in_flight():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("array")
+            yield from app.call(ref, "set_cell",
+                                {"cell": 1, "value": 999}, tid)
+            from repro.sim import Timeout
+            yield Timeout(cluster.engine, 60_000.0)
+
+        cluster.spawn_on("n1", in_flight())
+        cluster.engine.run(until=cluster.engine.now + 1_000.0)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 1) == 10
+
+    def test_update_in_log_buffer_only_is_lost_cleanly(self):
+        """An unforced update (commit not reached) vanishes: the volatile
+        log buffer dies with the node, and no page escaped to disk."""
+        cluster = make_cluster()
+        app = cluster.application("n1")
+
+        def begin_only():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("array")
+            yield from app.call(ref, "set_cell",
+                                {"cell": 2, "value": 7}, tid)
+
+        cluster.run_on("n1", begin_only())  # never commits
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 2) == 0
+
+    def test_double_crash(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        run_set(cluster, app, 1, 1)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        run_set(cluster, app, 2, 2)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 1) == 1
+        assert run_get(cluster, app, 2) == 2
+
+    def test_latest_committed_value_wins(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        for value in (1, 2, 3):
+            run_set(cluster, app, 1, value)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 1) == 3
+
+
+class TestOperationLoggingRecovery:
+    def make(self):
+        cluster = make_cluster(OperationArrayServer.factory("oparray"))
+        return cluster, cluster.application("n1")
+
+    def add(self, cluster, app, cell, delta):
+        def body(tid):
+            ref = yield from app.lookup_one("oparray")
+            result = yield from app.call(ref, "add_cell",
+                                         {"cell": cell, "delta": delta},
+                                         tid)
+            return result["value"]
+        return cluster.run_transaction("n1", body)
+
+    def get(self, cluster, app, cell):
+        def body(tid):
+            ref = yield from app.lookup_one("oparray")
+            result = yield from app.call(ref, "get_cell",
+                                         {"cell": cell}, tid)
+            return result["value"]
+        return cluster.run_transaction("n1", body)
+
+    def test_committed_operations_redone(self):
+        cluster, app = self.make()
+        assert self.add(cluster, app, 1, 5) == 5
+        assert self.add(cluster, app, 1, 7) == 12
+        cluster.crash_node("n1")
+        report = cluster.restart_node("n1")
+        assert report.operations_redone >= 2
+        app = cluster.application("n1")
+        assert self.get(cluster, app, 1) == 12
+
+    def test_uncommitted_operation_undone(self):
+        cluster, app = self.make()
+        self.add(cluster, app, 1, 10)
+
+        def in_flight():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("oparray")
+            yield from app.call(ref, "add_cell",
+                                {"cell": 1, "delta": 100}, tid)
+            from repro.sim import Timeout
+            yield Timeout(cluster.engine, 60_000.0)
+
+        cluster.spawn_on("n1", in_flight())
+        cluster.engine.run(until=cluster.engine.now + 1_000.0)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert self.get(cluster, app, 1) == 10
+
+    def test_multi_page_operation_one_record(self):
+        cluster, app = self.make()
+        tabs = cluster.node("n1")
+
+        def fill(tid):
+            ref = yield from app.lookup_one("oparray")
+            # 400 cells span 4 pages (128 words per page).
+            yield from app.call(ref, "fill_range",
+                                {"start": 1, "count": 400, "value": 9}, tid)
+
+        before = tabs.rm.wal.last_lsn
+        cluster.run_transaction("n1", fill)
+        from repro.wal.records import OperationRecord
+        durable = tabs.rm.wal.read_forward(
+            tabs.rm.wal.store.truncated_before)
+        new_records = [r for r in durable
+                       if r.lsn > before and isinstance(r, OperationRecord)]
+        assert len(new_records) == 1
+        assert len(list(new_records[0].oids[0].pages())) >= 4
+
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert self.get(cluster, app, 1) == 9
+        assert self.get(cluster, app, 400) == 9
+        assert self.get(cluster, app, 401) == 0
+
+    def test_aborted_fill_restores_old_values(self):
+        cluster, app = self.make()
+        self.add(cluster, app, 5, 50)
+
+        def aborted():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("oparray")
+            yield from app.call(ref, "fill_range",
+                                {"start": 1, "count": 10, "value": 0}, tid)
+            yield from app.abort_transaction(tid)
+
+        cluster.run_on("n1", aborted())
+        assert self.get(cluster, app, 5) == 50
+
+    def test_abort_then_crash_does_not_double_undo(self):
+        """Compensation records keep recovery from undoing twice."""
+        cluster, app = self.make()
+        self.add(cluster, app, 1, 10)
+
+        def aborted():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("oparray")
+            yield from app.call(ref, "add_cell",
+                                {"cell": 1, "delta": 5}, tid)
+            yield from app.abort_transaction(tid)
+
+        cluster.run_on("n1", aborted())
+        assert self.get(cluster, app, 1) == 10
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert self.get(cluster, app, 1) == 10
+
+
+class TestCheckpointsAndReclamation:
+    def test_checkpoint_bounds_recovery_scan(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        tabs = cluster.node("n1")
+        for cell in range(1, 30):
+            run_set(cluster, app, cell, cell)
+        # Take a checkpoint (as the Transaction Manager would periodically).
+        cluster.run_on("n1", tabs.rm.take_checkpoint({}, flush=True))
+        for cell in range(30, 35):
+            run_set(cluster, app, cell, cell)
+        cluster.crash_node("n1")
+        report = cluster.restart_node("n1")
+        # Everything still correct...
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 1) == 1
+        assert run_get(cluster, app, 34) == 34
+        # ...and the value pass stopped at the checkpoint bound: it decided
+        # far fewer objects than were ever written.
+        assert report.values_restored <= 10
+
+    def test_log_reclamation_under_pressure(self):
+        config = TabsConfig(log_capacity_records=300)
+        cluster = TabsCluster(config)
+        cluster.add_node("n1")
+        cluster.add_server("n1", IntegerArrayServer.factory("array"))
+        cluster.start()
+        app = cluster.application("n1")
+        tabs = cluster.node("n1")
+        # Enough traffic to overflow a 300-record store several times.
+        for round_number in range(150):
+            run_set(cluster, app, (round_number % 10) + 1, round_number)
+        cluster.settle()
+        assert tabs.rm.reclamations > 0
+        assert len(tabs.log_store) < 300
+        # And the data survives a crash even after truncation.
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 10) == 149
+
+    def test_recovery_truncates_after_clean_point(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        for cell in range(1, 10):
+            run_set(cluster, app, cell, cell)
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        tabs = cluster.node("n1")
+        # Post-recovery checkpoint + truncation leave a short log.
+        assert len(tabs.log_store) <= 2

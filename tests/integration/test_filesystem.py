@@ -1,0 +1,209 @@
+"""The transactional file system server."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.filesystem import (
+    CHUNK_CHARS,
+    TransactionalFileSystemServer,
+)
+
+
+@pytest.fixture
+def env():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1",
+                       TransactionalFileSystemServer.factory("disk0"))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("disk0"))
+
+    def mkfs(tid):
+        yield from app.call(ref, "mkfs", {}, tid)
+
+    cluster.run_transaction("n1", mkfs)
+    return cluster, app, ref
+
+
+def fs_call(app, ref, tid, op, **body):
+    result = yield from app.call(ref, op, body, tid)
+    return result
+
+
+def one(cluster, app, ref, op, **body):
+    def txn(tid):
+        result = yield from fs_call(app, ref, tid, op, **body)
+        return result
+    return cluster.run_transaction("n1", txn)
+
+
+def test_create_write_read(env):
+    cluster, app, ref = env
+
+    def body(tid):
+        yield from fs_call(app, ref, tid, "create", path="/motd")
+        yield from fs_call(app, ref, tid, "write", path="/motd",
+                           data="hello, world")
+        result = yield from fs_call(app, ref, tid, "read", path="/motd")
+        return result["data"]
+
+    assert cluster.run_transaction("n1", body) == "hello, world"
+
+
+def test_large_file_spans_chunks(env):
+    cluster, app, ref = env
+    data = "x" * (3 * CHUNK_CHARS + 17)
+    one(cluster, app, ref, "create", path="/big")
+    one(cluster, app, ref, "write", path="/big", data=data)
+    result = one(cluster, app, ref, "read", path="/big")
+    assert result["data"] == data
+    assert result["size"] == len(data)
+
+
+def test_append_extends_content(env):
+    cluster, app, ref = env
+    one(cluster, app, ref, "create", path="/log")
+    one(cluster, app, ref, "append", path="/log", data="one ")
+    one(cluster, app, ref, "append", path="/log", data="two")
+    assert one(cluster, app, ref, "read", path="/log")["data"] == "one two"
+
+
+def test_append_across_chunk_boundary(env):
+    cluster, app, ref = env
+    one(cluster, app, ref, "create", path="/long")
+    first = "a" * (CHUNK_CHARS - 3)
+    second = "b" * 10
+    one(cluster, app, ref, "append", path="/long", data=first)
+    one(cluster, app, ref, "append", path="/long", data=second)
+    assert one(cluster, app, ref, "read", path="/long")["data"] == \
+        first + second
+
+
+def test_directories_and_listing(env):
+    cluster, app, ref = env
+
+    def body(tid):
+        yield from fs_call(app, ref, tid, "mkdir", path="/etc")
+        yield from fs_call(app, ref, tid, "mkdir", path="/etc/rc.d")
+        yield from fs_call(app, ref, tid, "create", path="/etc/motd")
+        listing = yield from fs_call(app, ref, tid, "list_dir", path="/etc")
+        root = yield from fs_call(app, ref, tid, "list_dir", path="/")
+        return listing["entries"], root["entries"]
+
+    etc, root = cluster.run_transaction("n1", body)
+    assert etc == ["motd", "rc.d"]
+    assert root == ["etc"]
+
+
+def test_create_under_missing_parent_fails(env):
+    cluster, app, ref = env
+    with pytest.raises(Exception, match="no such path"):
+        one(cluster, app, ref, "create", path="/nowhere/file")
+
+
+def test_write_to_directory_fails(env):
+    cluster, app, ref = env
+    one(cluster, app, ref, "mkdir", path="/d")
+    with pytest.raises(Exception, match="is a directory"):
+        one(cluster, app, ref, "write", path="/d", data="nope")
+
+
+def test_remove_file_frees_pages_for_reuse(env):
+    cluster, app, ref = env
+    tabs = cluster.node("n1")
+    one(cluster, app, ref, "create", path="/tmp1")
+    one(cluster, app, ref, "write", path="/tmp1", data="z" * CHUNK_CHARS * 4)
+    one(cluster, app, ref, "remove", path="/tmp1")
+    # Allocator state: freed pages are available again.
+    frame = tabs.node.vm.frame("n1:disk0", 1)
+    allocator = (frame.data.get(512) if frame is not None
+                 else tabs.node.disk.peek_page("n1:disk0", 1).get(512))
+    assert len(allocator["free"]) >= 4
+
+
+def test_remove_nonempty_directory_fails(env):
+    cluster, app, ref = env
+    one(cluster, app, ref, "mkdir", path="/d")
+    one(cluster, app, ref, "create", path="/d/f")
+    with pytest.raises(Exception, match="not empty"):
+        one(cluster, app, ref, "remove", path="/d")
+
+
+def test_rename_file(env):
+    cluster, app, ref = env
+    one(cluster, app, ref, "create", path="/old")
+    one(cluster, app, ref, "write", path="/old", data="payload")
+    one(cluster, app, ref, "rename", source="/old", target="/new")
+    assert one(cluster, app, ref, "read", path="/new")["data"] == "payload"
+    with pytest.raises(Exception, match="no such path"):
+        one(cluster, app, ref, "read", path="/old")
+
+
+def test_rename_subtree(env):
+    cluster, app, ref = env
+
+    def build(tid):
+        yield from fs_call(app, ref, tid, "mkdir", path="/a")
+        yield from fs_call(app, ref, tid, "mkdir", path="/a/b")
+        yield from fs_call(app, ref, tid, "create", path="/a/b/f")
+        yield from fs_call(app, ref, tid, "write", path="/a/b/f",
+                           data="deep")
+
+    cluster.run_transaction("n1", build)
+    result = one(cluster, app, ref, "rename", source="/a", target="/z")
+    assert result["moved"] == 3
+    assert one(cluster, app, ref, "read", path="/z/b/f")["data"] == "deep"
+
+
+def test_rename_into_own_subtree_rejected(env):
+    cluster, app, ref = env
+    one(cluster, app, ref, "mkdir", path="/a")
+    with pytest.raises(Exception, match="into itself"):
+        one(cluster, app, ref, "rename", source="/a", target="/a/b")
+
+
+def test_multi_file_transaction_is_atomic(env):
+    """The point of a *transactional* file system: an aborted batch of
+    file operations leaves no trace, even across files."""
+    cluster, app, ref = env
+    one(cluster, app, ref, "create", path="/keep")
+    one(cluster, app, ref, "write", path="/keep", data="original")
+
+    def aborted():
+        tid = yield from app.begin_transaction()
+        yield from fs_call(app, ref, tid, "write", path="/keep",
+                           data="clobbered")
+        yield from fs_call(app, ref, tid, "create", path="/fresh")
+        yield from fs_call(app, ref, tid, "write", path="/fresh",
+                           data="partial")
+        yield from app.abort_transaction(tid)
+
+    cluster.run_on("n1", aborted())
+    assert one(cluster, app, ref, "read", path="/keep")["data"] == \
+        "original"
+    with pytest.raises(Exception, match="no such path"):
+        one(cluster, app, ref, "stat", path="/fresh")
+
+
+def test_filesystem_survives_crash(env):
+    cluster, app, ref = env
+
+    def build(tid):
+        yield from fs_call(app, ref, tid, "mkdir", path="/home")
+        yield from fs_call(app, ref, tid, "create", path="/home/notes")
+        yield from fs_call(app, ref, tid, "write", path="/home/notes",
+                           data="durable " * 50)
+
+    cluster.run_transaction("n1", build)
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+    app2 = cluster.application("n1")
+
+    def reread(tid):
+        fresh = yield from app2.lookup_one("disk0")
+        result = yield from app2.call(fresh, "read",
+                                      {"path": "/home/notes"}, tid)
+        return result["data"]
+
+    assert cluster.run_transaction("n1", reread) == "durable " * 50

@@ -1,0 +1,172 @@
+"""The mailbox server: type-specific locking in action (Section 4.6's
+promised exploration)."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.mailbox import MAILBOX_PROTOCOL, PUT, READ, TAKE, \
+    MailboxServer
+from repro.sim import Timeout
+
+
+@pytest.fixture
+def cluster():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", MailboxServer.factory("mail"))
+    cluster.start()
+    return cluster
+
+
+@pytest.fixture
+def env(cluster):
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("mail"))
+    return cluster, app, ref
+
+
+def test_protocol_matrix():
+    assert MAILBOX_PROTOCOL.compatible(PUT, PUT)
+    assert MAILBOX_PROTOCOL.compatible(READ, READ)
+    assert not MAILBOX_PROTOCOL.compatible(PUT, READ)
+    assert not MAILBOX_PROTOCOL.compatible(PUT, TAKE)
+    assert not MAILBOX_PROTOCOL.compatible(READ, TAKE)
+    assert not MAILBOX_PROTOCOL.compatible(TAKE, TAKE)
+
+
+def test_put_then_take(env):
+    cluster, app, ref = env
+
+    def body(tid):
+        yield from app.call(ref, "put", {"mailbox": 0, "message": "hi"},
+                            tid)
+        yield from app.call(ref, "put", {"mailbox": 0, "message": "there"},
+                            tid)
+        result = yield from app.call(ref, "take_all", {"mailbox": 0}, tid)
+        return result["messages"]
+
+    assert cluster.run_transaction("n1", body) == ["hi", "there"]
+
+
+def test_mailboxes_are_independent(env):
+    cluster, app, ref = env
+
+    def body(tid):
+        yield from app.call(ref, "put", {"mailbox": 0, "message": "a"}, tid)
+        yield from app.call(ref, "put", {"mailbox": 1, "message": "b"}, tid)
+        first = yield from app.call(ref, "read_all", {"mailbox": 0}, tid)
+        second = yield from app.call(ref, "read_all", {"mailbox": 1}, tid)
+        return first["messages"], second["messages"]
+
+    assert cluster.run_transaction("n1", body) == (["a"], ["b"])
+
+
+def test_concurrent_puts_do_not_block_each_other(env):
+    """The point of the type-specific matrix: two uncommitted senders
+    deliver to the same mailbox concurrently -- read/write locking would
+    serialize them."""
+    cluster, app, ref = env
+    progress = []
+
+    def sender(name, hold_ms):
+        tid = yield from app.begin_transaction()
+        yield from app.call(ref, "put",
+                            {"mailbox": 0, "message": name}, tid)
+        progress.append((name, "delivered", cluster.engine.now))
+        yield Timeout(cluster.engine, hold_ms)
+        yield from app.end_transaction(tid)
+
+    first = cluster.spawn_on("n1", sender("first", 5_000.0))
+    second = cluster.spawn_on("n1", sender("second", 0.0))
+    cluster.engine.run_until(second)
+    # The second sender delivered while the first still held its PUT lock.
+    assert [name for name, _, _ in progress] == ["first", "second"]
+    delivered = {name: at for name, _, at in progress}
+    assert delivered["second"] < 1_000.0  # no 5-second wait
+    cluster.engine.run_until(first)
+
+
+def test_take_blocks_until_puts_commit(env):
+    cluster, app, ref = env
+
+    def slow_sender():
+        tid = yield from app.begin_transaction()
+        yield from app.call(ref, "put",
+                            {"mailbox": 0, "message": "pending"}, tid)
+        yield Timeout(cluster.engine, 3_000.0)
+        yield from app.end_transaction(tid)
+
+    sender = cluster.spawn_on("n1", slow_sender())
+    cluster.engine.run(until=cluster.engine.now + 1_000.0)
+
+    def drain(tid):
+        result = yield from app.call(ref, "take_all", {"mailbox": 0}, tid)
+        return result["messages"]
+
+    started = cluster.engine.now
+    messages = cluster.run_transaction("n1", drain)
+    assert messages == ["pending"]          # saw the committed message
+    assert cluster.engine.now - started > 1_500.0  # after waiting for it
+    cluster.engine.run_until(sender)
+
+
+def test_aborted_put_never_appears(env):
+    cluster, app, ref = env
+
+    def aborted():
+        tid = yield from app.begin_transaction()
+        yield from app.call(ref, "put",
+                            {"mailbox": 0, "message": "ghost"}, tid)
+        yield from app.abort_transaction(tid)
+
+    cluster.run_on("n1", aborted())
+
+    def read(tid):
+        result = yield from app.call(ref, "read_all", {"mailbox": 0}, tid)
+        return result["messages"]
+
+    assert cluster.run_transaction("n1", read) == []
+
+
+def test_slots_compact_after_committed_take(env):
+    cluster, app, ref = env
+    from repro.servers.mailbox import SLOTS_PER_MAILBOX
+
+    def fill_and_drain(round_number):
+        def body(tid):
+            for index in range(SLOTS_PER_MAILBOX):
+                yield from app.call(
+                    ref, "put",
+                    {"mailbox": 0,
+                     "message": f"{round_number}.{index}"}, tid)
+            result = yield from app.call(ref, "take_all",
+                                         {"mailbox": 0}, tid)
+            return len(result["messages"])
+        return body
+
+    # Two full rounds through one mailbox: slot space is reused.
+    assert cluster.run_transaction(
+        "n1", fill_and_drain(0)) == SLOTS_PER_MAILBOX
+    assert cluster.run_transaction(
+        "n1", fill_and_drain(1)) == SLOTS_PER_MAILBOX
+
+
+def test_mail_survives_crash(env):
+    cluster, app, ref = env
+
+    def deliver(tid):
+        yield from app.call(ref, "put",
+                            {"mailbox": 2, "message": "important"}, tid)
+
+    cluster.run_transaction("n1", deliver)
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+    app2 = cluster.application("n1")
+
+    def drain(tid):
+        fresh = yield from app2.lookup_one("mail")
+        result = yield from app2.call(fresh, "take_all", {"mailbox": 2},
+                                      tid)
+        return result["messages"]
+
+    assert cluster.run_transaction("n1", drain) == ["important"]

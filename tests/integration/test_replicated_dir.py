@@ -1,0 +1,269 @@
+"""The replicated directory object over three nodes (Section 4.5)."""
+
+import pytest
+
+from repro import QuorumUnavailable, TabsCluster, TabsConfig, TabsError
+from repro.servers.btree import KeyNotFound
+from repro.servers.replicated_dir import (
+    DirectoryRepresentativeServer,
+    Replica,
+    ReplicatedDirectory,
+)
+
+
+def make_cluster():
+    cluster = TabsCluster(TabsConfig())
+    for index in range(3):
+        name = f"n{index}"
+        cluster.add_node(name)
+        cluster.add_server(
+            name, DirectoryRepresentativeServer.factory(f"rep{index}"))
+    cluster.start()
+    return cluster
+
+
+def make_directory(cluster, app, **kwargs):
+    replicas = []
+    for index in range(3):
+        ref = cluster.run_on("n0", app.lookup_one(f"rep{index}"))
+        replicas.append(Replica(ref=ref, weight=1))
+    directory = ReplicatedDirectory(app, replicas, read_quorum=2,
+                                    write_quorum=2, **kwargs)
+    cluster.run_transaction("n0", directory.create)
+    cluster.settle()
+    return directory
+
+
+@pytest.fixture
+def env():
+    cluster = make_cluster()
+    app = cluster.application("n0")
+    directory = make_directory(cluster, app)
+    return cluster, app, directory
+
+
+def test_quorum_rule_enforced():
+    cluster = make_cluster()
+    app = cluster.application("n0")
+    refs = [cluster.run_on("n0", app.lookup_one(f"rep{i}"))
+            for i in range(3)]
+    replicas = [Replica(ref=r) for r in refs]
+    with pytest.raises(TabsError, match="intersect"):
+        ReplicatedDirectory(app, replicas, read_quorum=1, write_quorum=1)
+    with pytest.raises(TabsError, match="majority"):
+        ReplicatedDirectory(app, replicas, read_quorum=3, write_quorum=1)
+
+
+def test_insert_then_lookup(env):
+    cluster, app, directory = env
+
+    def body(tid):
+        yield from directory.insert(tid, "alpha", 1)
+        value = yield from directory.lookup(tid, "alpha")
+        return value
+
+    assert cluster.run_transaction("n0", body) == 1
+    cluster.settle()
+
+
+def test_update_bumps_version(env):
+    cluster, app, directory = env
+
+    def body(tid):
+        yield from directory.insert(tid, "k", "v1")
+        yield from directory.update(tid, "k", "v2")
+        value = yield from directory.lookup(tid, "k")
+        return value
+
+    assert cluster.run_transaction("n0", body) == "v2"
+    cluster.settle()
+
+
+def test_delete_leaves_tombstone(env):
+    cluster, app, directory = env
+
+    def body(tid):
+        yield from directory.insert(tid, "k", 1)
+        yield from directory.delete(tid, "k")
+
+    cluster.run_transaction("n0", body)
+    cluster.settle()
+
+    def check(tid):
+        yield from directory.lookup(tid, "k")
+
+    with pytest.raises(KeyNotFound):
+        cluster.run_transaction("n0", check)
+    cluster.settle()
+
+
+def test_duplicate_insert_rejected(env):
+    cluster, app, directory = env
+
+    def body(tid):
+        yield from directory.insert(tid, "k", 1)
+        yield from directory.insert(tid, "k", 2)
+
+    with pytest.raises(TabsError, match="exists"):
+        cluster.run_transaction("n0", body)
+    cluster.settle()
+
+
+def test_data_available_with_one_node_down(env):
+    """The paper's own test: 3 nodes permit one to fail with the data
+    remaining available."""
+    cluster, app, directory = env
+
+    def fill(tid):
+        yield from directory.insert(tid, "durable", "value")
+
+    cluster.run_transaction("n0", fill)
+    cluster.settle()
+    cluster.crash_node("n2")
+
+    def read(tid):
+        value = yield from directory.lookup(tid, "durable")
+        return value
+
+    assert cluster.run_transaction("n0", read) == "value"
+    cluster.settle()
+
+
+def test_writes_succeed_with_one_node_down(env):
+    cluster, app, directory = env
+    cluster.crash_node("n2")
+
+    def fill(tid):
+        yield from directory.insert(tid, "k", "written-during-failure")
+
+    cluster.run_transaction("n0", fill)
+    cluster.settle()
+
+    def read(tid):
+        value = yield from directory.lookup(tid, "k")
+        return value
+
+    assert cluster.run_transaction("n0", read) == "written-during-failure"
+    cluster.settle()
+
+
+def test_two_nodes_down_denies_quorum(env):
+    cluster, app, directory = env
+    cluster.crash_node("n1")
+    cluster.crash_node("n2")
+
+    def read(tid):
+        yield from directory.lookup(tid, "anything")
+
+    with pytest.raises(QuorumUnavailable):
+        cluster.run_transaction("n0", read)
+    cluster.settle()
+
+
+def test_recovered_node_catches_up_via_versions(env):
+    """A stale replica (down during a write) never wins a vote: the read
+    quorum intersects the write quorum, so the highest version prevails."""
+    cluster, app, directory = env
+
+    def v1(tid):
+        yield from directory.insert(tid, "k", "v1")
+
+    cluster.run_transaction("n0", v1)
+    cluster.settle()
+    cluster.crash_node("n0")  # n0 hosts rep0, the first replica probed
+
+    app1 = cluster.application("n1")
+    directory1 = ReplicatedDirectory(
+        app1,
+        [Replica(ref=cluster.run_on("n1", app1.lookup_one(f"rep{i}")))
+         for i in (1, 2)] ,
+        read_quorum=2, write_quorum=2)
+    # Write v2 while n0 is down (quorum = the two survivors).
+    directory1.read_quorum = 2
+    directory1.write_quorum = 2
+    directory1.replicas = directory1.replicas  # unchanged
+
+    def v2(tid):
+        yield from directory1.update(tid, "k", "v2")
+
+    cluster.run_transaction("n1", v2)
+    cluster.settle()
+
+    cluster.restart_node("n0")
+    app0 = cluster.application("n0")
+    refs = [cluster.run_on("n0", app0.lookup_one(f"rep{i}"))
+            for i in range(3)]
+    directory0 = ReplicatedDirectory(
+        app0, [Replica(ref=r) for r in refs], read_quorum=2, write_quorum=2)
+
+    def read(tid):
+        value = yield from directory0.lookup(tid, "k")
+        return value
+
+    # rep0 still holds v1; the quorum includes a v2 holder, and v2 wins.
+    assert cluster.run_transaction("n0", read) == "v2"
+    cluster.settle()
+
+
+def test_read_repair_pushes_winning_version(env):
+    cluster, app, directory = env
+
+    def v1(tid):
+        yield from directory.insert(tid, "k", "v1")
+
+    cluster.run_transaction("n0", v1)
+    cluster.settle()
+    cluster.crash_node("n2")
+
+    def v2(tid):
+        yield from directory.update(tid, "k", "v2")
+
+    cluster.run_transaction("n0", v2)
+    cluster.settle()
+    cluster.restart_node("n2")
+
+    # Rebuild refs (rep2's port changed) with read repair enabled.
+    app2 = cluster.application("n0")
+    refs = [cluster.run_on("n0", app2.lookup_one(f"rep{i}"))
+            for i in (2, 0, 1)]  # probe the stale replica first
+    repairing = ReplicatedDirectory(
+        app2, [Replica(ref=r) for r in refs], read_quorum=2, write_quorum=2,
+        read_repair=True)
+
+    def read(tid):
+        value = yield from repairing.lookup(tid, "k")
+        return value
+
+    assert cluster.run_transaction("n0", read) == "v2"
+    cluster.settle()
+
+    # After repair, even a quorum of {rep2, rep0} alone sees v2 at rep2.
+    solo = ReplicatedDirectory(
+        app2, [Replica(ref=refs[0], weight=2)], read_quorum=2,
+        write_quorum=2)
+
+    def read_stale_only(tid):
+        value = yield from solo.lookup(tid, "k")
+        return value
+
+    assert cluster.run_transaction("n0", read_stale_only) == "v2"
+    cluster.settle()
+
+
+def test_aborted_replicated_insert_recovers_on_all_nodes(env):
+    cluster, app, directory = env
+
+    def aborted():
+        tid = yield from app.begin_transaction()
+        yield from directory.insert(tid, "ghost", 1)
+        yield from app.abort_transaction(tid)
+
+    cluster.run_on("n0", aborted())
+    cluster.settle()
+
+    def check(tid):
+        yield from directory.lookup(tid, "ghost")
+
+    with pytest.raises(KeyNotFound):
+        cluster.run_transaction("n0", check)
+    cluster.settle()

@@ -1,0 +1,107 @@
+"""Representative-level semantics of the replicated directory."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.replicated_dir import (
+    DirectoryRepresentativeServer,
+    Replica,
+    ReplicatedDirectory,
+)
+from tests.property.conftest import fast_config
+
+
+@pytest.fixture
+def env():
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1",
+                       DirectoryRepresentativeServer.factory("rep"))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("rep"))
+
+    def create(tid):
+        yield from app.call(ref, "create_directory",
+                            {"directory": "entries"}, tid)
+
+    cluster.run_transaction("n1", create)
+    return cluster, app, ref
+
+
+def rep_read(cluster, app, ref, key):
+    def body(tid):
+        result = yield from app.call(ref, "rep_read",
+                                     {"directory": "entries", "key": key},
+                                     tid)
+        return result
+    return cluster.run_transaction("n1", body)
+
+
+def rep_write(cluster, app, ref, key, value, version, deleted=False):
+    def body(tid):
+        yield from app.call(ref, "rep_write",
+                            {"directory": "entries", "key": key,
+                             "value": value, "version": version,
+                             "deleted": deleted}, tid)
+    cluster.run_transaction("n1", body)
+
+
+def test_absent_key_votes_version_zero(env):
+    cluster, app, ref = env
+    vote = rep_read(cluster, app, ref, "missing")
+    assert vote == {"present": False, "version": 0}
+
+
+def test_write_then_read_vote(env):
+    cluster, app, ref = env
+    rep_write(cluster, app, ref, "k", "v1", version=1)
+    vote = rep_read(cluster, app, ref, "k")
+    assert vote["present"] and vote["version"] == 1
+    assert vote["value"] == "v1" and not vote["deleted"]
+
+
+def test_rep_write_is_insert_or_update(env):
+    cluster, app, ref = env
+    rep_write(cluster, app, ref, "k", "v1", version=1)
+    rep_write(cluster, app, ref, "k", "v2", version=2)
+    vote = rep_read(cluster, app, ref, "k")
+    assert vote["version"] == 2 and vote["value"] == "v2"
+
+
+def test_tombstone_vote(env):
+    cluster, app, ref = env
+    rep_write(cluster, app, ref, "k", "v1", version=1)
+    rep_write(cluster, app, ref, "k", None, version=2, deleted=True)
+    vote = rep_read(cluster, app, ref, "k")
+    assert vote["present"] and vote["deleted"] and vote["version"] == 2
+
+
+def test_winning_vote_selection():
+    votes = [
+        (None, {"present": True, "version": 3, "value": "old"}),
+        (None, {"present": True, "version": 7, "value": "new"}),
+        (None, {"present": False, "version": 0}),
+    ]
+    winner = ReplicatedDirectory._winning_vote(votes)
+    assert winner["version"] == 7 and winner["value"] == "new"
+
+
+def test_winning_vote_of_all_absent():
+    votes = [(None, {"present": False, "version": 0})] * 3
+    assert not ReplicatedDirectory._winning_vote(votes)["present"]
+
+
+def test_weighted_replicas_reach_quorum_with_fewer_sites(env):
+    """Weights are Gifford's point: one heavy replica can carry a quorum."""
+    cluster, app, ref = env
+    heavy = Replica(ref=ref, weight=3)
+    directory = ReplicatedDirectory(app, [heavy], read_quorum=2,
+                                    write_quorum=2)
+
+    def body(tid):
+        yield from directory.insert(tid, "solo", 1)
+        value = yield from directory.lookup(tid, "solo")
+        return value
+
+    assert cluster.run_transaction("n1", body) == 1

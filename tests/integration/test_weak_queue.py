@@ -1,0 +1,196 @@
+"""End-to-end tests for the weak queue server (Section 4.2)."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.servers.weak_queue import WeakQueueServer
+
+
+@pytest.fixture
+def cluster():
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n1")
+    cluster.add_server("n1", WeakQueueServer.factory("queue", capacity=16))
+    cluster.start()
+    return cluster
+
+
+@pytest.fixture
+def app(cluster):
+    return cluster.application("n1")
+
+
+def enqueue(app, ref, tid, data):
+    result = yield from app.call(ref, "enqueue", {"data": data}, tid)
+    return result
+
+
+def dequeue(app, ref, tid):
+    result = yield from app.call(ref, "dequeue", {}, tid)
+    return result["data"]
+
+
+def test_enqueue_dequeue_roundtrip(cluster, app):
+    def body(tid):
+        ref = yield from app.lookup_one("queue")
+        yield from enqueue(app, ref, tid, "item")
+        value = yield from dequeue(app, ref, tid)
+        return value
+
+    assert cluster.run_transaction("n1", body) == "item"
+
+
+def test_fifo_when_uncontended(cluster, app):
+    def producer(tid):
+        ref = yield from app.lookup_one("queue")
+        for item in ("a", "b", "c"):
+            yield from enqueue(app, ref, tid, item)
+
+    def consumer(tid):
+        ref = yield from app.lookup_one("queue")
+        items = []
+        for _ in range(3):
+            items.append((yield from dequeue(app, ref, tid)))
+        return items
+
+    cluster.run_transaction("n1", producer)
+    assert cluster.run_transaction("n1", consumer) == ["a", "b", "c"]
+
+
+def test_is_queue_empty(cluster, app):
+    def check(tid):
+        ref = yield from app.lookup_one("queue")
+        result = yield from app.call(ref, "is_queue_empty", {}, tid)
+        return result["empty"]
+
+    assert cluster.run_transaction("n1", check) is True
+
+    def fill(tid):
+        ref = yield from app.lookup_one("queue")
+        yield from enqueue(app, ref, tid, 1)
+
+    cluster.run_transaction("n1", fill)
+    assert cluster.run_transaction("n1", check) is False
+
+
+def test_aborted_enqueue_leaves_gap_not_item(cluster, app):
+    def aborted():
+        tid = yield from app.begin_transaction()
+        ref = yield from app.lookup_one("queue")
+        yield from enqueue(app, ref, tid, "ghost")
+        yield from app.abort_transaction(tid)
+
+    cluster.run_on("n1", aborted())
+
+    def check(tid):
+        ref = yield from app.lookup_one("queue")
+        result = yield from app.call(ref, "is_queue_empty", {}, tid)
+        return result["empty"]
+
+    assert cluster.run_transaction("n1", check) is True
+
+
+def test_dequeue_skips_element_locked_by_inflight_enqueue(cluster, app):
+    """The weak-queue semantics: a dequeuer passes over elements another
+    transaction is still manipulating, rather than waiting."""
+    from repro.sim import Timeout
+
+    ref = cluster.run_on("n1", app.lookup_one("queue"))
+
+    def committed_then_pending():
+        tid = yield from app.begin_transaction()
+        yield from enqueue(app, ref, tid, "first")
+        yield from app.end_transaction(tid)
+        # Second enqueue stays uncommitted while the consumer runs.
+        tid2 = yield from app.begin_transaction()
+        yield from enqueue(app, ref, tid2, "pending")
+        yield Timeout(cluster.engine, 5_000.0)
+        yield from app.end_transaction(tid2)
+
+    producer = cluster.spawn_on("n1", committed_then_pending())
+    cluster.engine.run(until=cluster.engine.now + 2_000.0)
+
+    def consume(tid):
+        value = yield from dequeue(app, ref, tid)
+        return value
+
+    # Only "first" is dequeueable; "pending" is locked and skipped.
+    assert cluster.run_transaction("n1", consume) == "first"
+    cluster.engine.run_until(producer)
+    assert cluster.run_transaction("n1", consume) == "pending"
+
+
+def test_aborted_dequeue_restores_item(cluster, app):
+    ref = cluster.run_on("n1", app.lookup_one("queue"))
+
+    def fill(tid):
+        yield from enqueue(app, ref, tid, "precious")
+
+    cluster.run_transaction("n1", fill)
+
+    def aborted():
+        tid = yield from app.begin_transaction()
+        yield from dequeue(app, ref, tid)
+        yield from app.abort_transaction(tid)
+
+    cluster.run_on("n1", aborted())
+
+    def consume(tid):
+        value = yield from dequeue(app, ref, tid)
+        return value
+
+    assert cluster.run_transaction("n1", consume) == "precious"
+
+
+def test_queue_full_after_capacity_enqueues(cluster, app):
+    ref = cluster.run_on("n1", app.lookup_one("queue"))
+
+    def fill(tid):
+        for item in range(16):
+            yield from enqueue(app, ref, tid, item)
+
+    cluster.run_transaction("n1", fill)
+
+    def overflow(tid):
+        yield from enqueue(app, ref, tid, "too much")
+
+    with pytest.raises(Exception, match="slots used"):
+        cluster.run_transaction("n1", overflow)
+
+
+def test_garbage_collection_reclaims_dequeued_slots(cluster, app):
+    """Head advance (a side effect of Enqueue) makes the array reusable."""
+    ref = cluster.run_on("n1", app.lookup_one("queue"))
+
+    def producer_consumer(round_number):
+        def body(tid):
+            yield from enqueue(app, ref, tid, round_number)
+            value = yield from dequeue(app, ref, tid)
+            assert value == round_number
+        return body
+
+    # 3x capacity worth of traffic through a 16-slot queue.
+    for round_number in range(48):
+        cluster.run_transaction("n1", producer_consumer(round_number))
+
+
+def test_tail_recomputed_after_crash(cluster, app):
+    ref = cluster.run_on("n1", app.lookup_one("queue"))
+
+    def fill(tid):
+        for item in ("sturdy-1", "sturdy-2"):
+            yield from enqueue(app, ref, tid, item)
+
+    cluster.run_transaction("n1", fill)
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+
+    app2 = cluster.application("n1")
+
+    def drain(tid):
+        ref2 = yield from app2.lookup_one("queue")
+        first = yield from app2.call(ref2, "dequeue", {}, tid)
+        second = yield from app2.call(ref2, "dequeue", {}, tid)
+        return [first["data"], second["data"]]
+
+    assert cluster.run_transaction("n1", drain) == ["sturdy-1", "sturdy-2"]

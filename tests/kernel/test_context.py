@@ -1,0 +1,65 @@
+"""Unit tests for the simulation context's cost accounting."""
+
+import pytest
+
+from repro.kernel.context import SimContext
+from repro.kernel.costs import ACHIEVABLE_1985, MEASURED_1985, Phase, Primitive
+
+
+def test_charge_records_and_delays():
+    ctx = SimContext()
+    ctx.meter.phase = Phase.PRE_COMMIT
+    timeout = ctx.charge(Primitive.DATAGRAM)
+    assert timeout.delay == 25.0
+    assert ctx.meter.count(Primitive.DATAGRAM, Phase.PRE_COMMIT) == 1
+    ctx.engine.run()
+    assert ctx.engine.now == 25.0
+
+
+def test_fractional_charge():
+    """The half-datagram of the parallel prepare send."""
+    ctx = SimContext()
+    ctx.meter.phase = Phase.COMMIT
+    timeout = ctx.charge(Primitive.DATAGRAM, fraction=0.5)
+    assert timeout.delay == 12.5
+    assert ctx.meter.count(Primitive.DATAGRAM) == pytest.approx(0.5)
+
+
+def test_delay_of_without_counting():
+    ctx = SimContext()
+    assert ctx.delay_of(Primitive.SMALL_MESSAGE, count=False) == 3.0
+    assert not ctx.meter.counts
+
+
+def test_cpu_charge_accrues_to_component():
+    ctx = SimContext()
+    ctx.cpu("TM", 12.0)
+    ctx.cpu("TM", 24.0)
+    ctx.cpu("RM", 5.0)
+    assert ctx.meter.total_cpu(("TM",)) == 36.0
+    assert ctx.meter.total_cpu() == 41.0
+    # Each charge is an event; created concurrently they overlap, so the
+    # clock advances to the longest (a process serializes them by
+    # yielding one at a time).
+    ctx.engine.run()
+    assert ctx.engine.now == 24.0
+
+
+def test_profile_swap_changes_prices():
+    measured = SimContext(profile=MEASURED_1985)
+    achievable = SimContext(profile=ACHIEVABLE_1985)
+    assert measured.delay_of(Primitive.STABLE_STORAGE_WRITE,
+                             count=False) == 79.0
+    assert achievable.delay_of(Primitive.STABLE_STORAGE_WRITE,
+                               count=False) == 32.0
+
+
+def test_seeded_random_is_deterministic():
+    first = SimContext(seed=7)
+    second = SimContext(seed=7)
+    assert [first.random.random() for _ in range(5)] == \
+        [second.random.random() for _ in range(5)]
+
+
+def test_merged_architecture_defaults_off():
+    assert SimContext().merged_architecture is False

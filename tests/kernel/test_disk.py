@@ -1,0 +1,113 @@
+"""Tests for the simulated disk."""
+
+import pytest
+
+from repro.kernel.context import SimContext
+from repro.kernel.costs import MEASURED_1985, Primitive
+from repro.kernel.disk import MAX_SEQUENCE_NUMBER, Disk
+from repro.sim import Process
+
+
+@pytest.fixture
+def ctx():
+    return SimContext()
+
+
+def run(ctx, gen):
+    return ctx.engine.run_until(Process(ctx.engine, gen))
+
+
+def test_read_of_unwritten_page_is_empty(ctx):
+    disk = Disk(ctx)
+    assert run(ctx, disk.read_page("seg", 0)) == {}
+
+
+def test_write_then_read_roundtrip(ctx):
+    disk = Disk(ctx)
+
+    def body():
+        yield from disk.write_page("seg", 3, {0: "a", 8: 42})
+        data = yield from disk.read_page("seg", 3)
+        return data
+
+    assert run(ctx, body()) == {0: "a", 8: 42}
+
+
+def test_read_returns_copy_not_alias(ctx):
+    disk = Disk(ctx)
+
+    def body():
+        yield from disk.write_page("seg", 0, {0: 1})
+        data = yield from disk.read_page("seg", 0)
+        data[0] = 999
+        fresh = yield from disk.read_page("seg", 0)
+        return fresh
+
+    assert run(ctx, body()) == {0: 1}
+
+
+def test_random_read_cost(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.read_page("seg", 7))
+    assert ctx.meter.count(Primitive.RANDOM_PAGED_IO) == 1
+    assert ctx.engine.now == MEASURED_1985.time_of(Primitive.RANDOM_PAGED_IO)
+
+
+def test_sequential_reads_are_cheaper(ctx):
+    disk = Disk(ctx)
+
+    def body():
+        yield from disk.read_page("seg", 0)  # random (first access)
+        yield from disk.read_page("seg", 1)  # sequential
+        yield from disk.read_page("seg", 2)  # sequential
+        yield from disk.read_page("seg", 9)  # random (skip)
+
+    run(ctx, body())
+    assert ctx.meter.count(Primitive.SEQUENTIAL_READ) == 2
+    assert ctx.meter.count(Primitive.RANDOM_PAGED_IO) == 2
+
+
+def test_write_breaks_sequential_run(ctx):
+    """Log writes break up sequential access on the single Perq disk."""
+    disk = Disk(ctx)
+
+    def body():
+        yield from disk.read_page("seg", 0)
+        yield from disk.write_page("other", 5, {})
+        yield from disk.read_page("seg", 1)  # arm moved: random again
+
+    run(ctx, body())
+    assert ctx.meter.count(Primitive.SEQUENTIAL_READ) == 0
+    assert ctx.meter.count(Primitive.RANDOM_PAGED_IO) == 3
+
+
+def test_writes_always_charged_random(ctx):
+    disk = Disk(ctx)
+
+    def body():
+        yield from disk.write_page("seg", 0, {})
+        yield from disk.write_page("seg", 1, {})
+
+    run(ctx, body())
+    assert ctx.meter.count(Primitive.RANDOM_PAGED_IO) == 2
+
+
+def test_sequence_number_header_roundtrip(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 4, {}, sequence_number=12345))
+    assert disk.read_sequence_number("seg", 4) == 12345
+    assert disk.read_sequence_number("seg", 5) == 0
+
+
+def test_sequence_number_wraps_at_39_bits(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {}, sequence_number=MAX_SEQUENCE_NUMBER + 5))
+    assert disk.read_sequence_number("seg", 0) == 4
+
+
+def test_contents_survive_peek_without_cost(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {16: "x"}))
+    before = ctx.engine.now
+    assert disk.peek_page("seg", 0) == {16: "x"}
+    assert ctx.engine.now == before

@@ -1,0 +1,128 @@
+"""Tests for the Name Server and its library (Table 3-3)."""
+
+import pytest
+
+from repro.comm.manager import CommunicationManager
+from repro.comm.network import Network
+from repro.errors import LookupFailed
+from repro.kernel.context import SimContext
+from repro.kernel.costs import ZERO_COST, ZERO_CPU
+from repro.kernel.node import Node
+from repro.nameserver.library import NameServerLibrary
+from repro.nameserver.server import NameServer
+
+
+@pytest.fixture
+def world():
+    ctx = SimContext(profile=ZERO_COST, cpu_costs=ZERO_CPU)
+    network = Network(ctx)
+    nodes = {}
+    for name in ("a", "b", "c"):
+        node = Node(ctx, name)
+        CommunicationManager(node, network)
+        NameServer(node, network)
+        nodes[name] = node
+    return ctx, network, nodes
+
+
+def run(ctx, gen):
+    from repro.sim import Process
+    return ctx.engine.run_until(Process(ctx.engine, gen))
+
+
+def test_register_and_local_lookup(world):
+    ctx, _, nodes = world
+    library = NameServerLibrary(nodes["a"])
+    port = nodes["a"].create_port("svc")
+
+    def body():
+        yield from library.register("printer", "io", port, object_id=5)
+        refs = yield from library.lookup("printer")
+        return refs
+
+    refs = run(ctx, body())
+    assert len(refs) == 1
+    assert refs[0].port is port
+    assert refs[0].object_id == 5
+    assert refs[0].node_name == "a"
+
+
+def test_lookup_unknown_name_fails_after_broadcast(world):
+    ctx, _, nodes = world
+    library = NameServerLibrary(nodes["a"])
+
+    def body():
+        yield from library.lookup("ghost", max_wait_ms=100.0)
+
+    with pytest.raises(LookupFailed):
+        run(ctx, body())
+
+
+def test_broadcast_resolves_remote_name(world):
+    ctx, _, nodes = world
+    remote_library = NameServerLibrary(nodes["b"])
+    port = nodes["b"].create_port("svc")
+    run(ctx, remote_library.register("mailbox", "queue", port))
+
+    local_library = NameServerLibrary(nodes["a"])
+    ref = run(ctx, local_library.lookup_one("mailbox"))
+    assert ref.node_name == "b"
+    assert ref.port is port
+
+
+def test_lookup_gathers_multiple_replicas(world):
+    """Independent data servers can together implement replicated objects:
+    one name maps to several <port, object id> pairs across nodes."""
+    ctx, _, nodes = world
+    for name in ("a", "b", "c"):
+        library = NameServerLibrary(nodes[name])
+        port = nodes[name].create_port("rep")
+        run(ctx, library.register("replicated", "directory_rep", port))
+
+    library = NameServerLibrary(nodes["a"])
+    refs = run(ctx, library.lookup("replicated", desired=3,
+                                   max_wait_ms=500.0))
+    assert sorted(ref.node_name for ref in refs) == ["a", "b", "c"]
+
+
+def test_node_filter(world):
+    ctx, _, nodes = world
+    for name in ("a", "b"):
+        library = NameServerLibrary(nodes[name])
+        run(ctx, library.register("dup", "t", nodes[name].create_port()))
+    library = NameServerLibrary(nodes["a"])
+    refs = run(ctx, library.lookup("dup", node_name="a"))
+    assert [r.node_name for r in refs] == ["a"]
+
+
+def test_deregister_withdraws_mapping(world):
+    ctx, _, nodes = world
+    library = NameServerLibrary(nodes["a"])
+    port = nodes["a"].create_port("svc")
+    run(ctx, library.register("temp", "t", port))
+    run(ctx, library.deregister("temp", port))
+    with pytest.raises(LookupFailed):
+        run(ctx, library.lookup("temp", max_wait_ms=50.0))
+
+
+def test_down_node_does_not_answer_broadcast(world):
+    ctx, _, nodes = world
+    remote_library = NameServerLibrary(nodes["b"])
+    run(ctx, remote_library.register("svc-on-b", "t",
+                                     nodes["b"].create_port()))
+    nodes["b"].crash()
+    library = NameServerLibrary(nodes["a"])
+    with pytest.raises(LookupFailed):
+        run(ctx, library.lookup("svc-on-b", max_wait_ms=100.0))
+
+
+def test_reference_epoch_stamps_current_incarnation(world):
+    ctx, _, nodes = world
+    nodes["c"].crash()
+    nodes["c"].restart()
+    CommunicationManager(nodes["c"], world[1])
+    NameServer(nodes["c"], world[1])
+    library = NameServerLibrary(nodes["c"])
+    run(ctx, library.register("svc", "t", nodes["c"].create_port()))
+    ref = run(ctx, library.lookup_one("svc"))
+    assert ref.epoch == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the performance model and paper data tables."""
+
+import pytest
+
+from repro.kernel.costs import MEASURED_1985, Primitive
+from repro.perf.benchmarks import BENCHMARKS, BENCHMARKS_BY_KEY
+from repro.perf.model import (
+    COMMIT_PROTOCOL_OF,
+    PAPER_TABLE_5_2,
+    PAPER_TABLE_5_3,
+    PAPER_TABLE_5_4,
+    paper_predicted_time,
+    predicted_time,
+)
+
+P = Primitive
+
+
+def test_all_fourteen_benchmarks_defined():
+    assert len(BENCHMARKS) == 14
+    assert len({spec.key for spec in BENCHMARKS}) == 14
+
+
+def test_paper_tables_cover_every_benchmark():
+    for spec in BENCHMARKS:
+        assert spec.key in PAPER_TABLE_5_2
+        assert spec.key in PAPER_TABLE_5_4
+        assert COMMIT_PROTOCOL_OF[spec.key] in PAPER_TABLE_5_3
+
+
+def test_benchmark_metadata():
+    assert BENCHMARKS_BY_KEY["r1"].node_count == 1
+    assert BENCHMARKS_BY_KEY["r1r1"].node_count == 2
+    assert BENCHMARKS_BY_KEY["w1w1w1"].node_count == 3
+    assert not BENCHMARKS_BY_KEY["r5"].is_update
+    assert BENCHMARKS_BY_KEY["w1_seq"].is_update
+
+
+def test_predicted_time_weighted_sum():
+    counts = {P.SMALL_MESSAGE: 4, P.DATA_SERVER_CALL: 1}
+    expected = 4 * 3.0 + 26.1
+    assert predicted_time(counts, MEASURED_1985) == pytest.approx(expected)
+
+
+def test_paper_predicted_time_r1_matches_table_5_4():
+    """The paper's own counts x its own times must land on its own
+    predicted column: 1 DSC + 9 small = 26.1 + 27 = 53.1 (~53)."""
+    value = paper_predicted_time("r1", MEASURED_1985)
+    assert value == pytest.approx(PAPER_TABLE_5_4["r1"].predicted, abs=1.0)
+
+
+def test_paper_predicted_time_w1_matches_table_5_4():
+    value = paper_predicted_time("w1", MEASURED_1985)
+    assert value == pytest.approx(PAPER_TABLE_5_4["w1"].predicted, abs=1.0)
+
+
+def test_paper_predicted_time_none_for_ambiguous_rows():
+    """Rows with illegible cells are carried as unknown, not guessed."""
+    assert paper_predicted_time("w1_seq", MEASURED_1985) is None
+    assert paper_predicted_time("w1w1", MEASURED_1985) is None
+
+
+def test_paper_table_5_4_orderings():
+    """Sanity of the transcription itself: the paper's published numbers
+    obey the orderings its prose claims."""
+    table = PAPER_TABLE_5_4
+    for key, row in table.items():
+        assert row.improved_architecture <= row.elapsed, key
+        assert row.new_primitive_times < row.improved_architecture, key
+        assert row.predicted < row.elapsed, key
+    assert table["w1"].elapsed > table["r1"].elapsed
+    assert table["r1r1"].elapsed > table["r1"].elapsed

@@ -1,0 +1,79 @@
+"""Tests for the analytic longest-path commit model."""
+
+import pytest
+
+from repro.kernel.costs import MEASURED_1985
+from repro.perf.model import PAPER_TABLE_5_3
+from repro.perf.pathmodel import TABLE_5_3_PATHS, commit_path
+
+
+def test_single_node_paths_match_paper_exactly():
+    read = TABLE_5_3_PATHS["1_node_read"]
+    paper_read = PAPER_TABLE_5_3["1_node_read"]
+    assert read.small == paper_read.small
+    write = TABLE_5_3_PATHS["1_node_write"]
+    paper_write = PAPER_TABLE_5_3["1_node_write"]
+    assert write.small == paper_write.small
+    assert write.large == paper_write.large
+    assert write.stable_writes == paper_write.stable_writes
+
+
+def test_read_only_datagram_counts_match_paper():
+    assert TABLE_5_3_PATHS["2_node_read"].datagrams == 2
+    # The famous 2.5: the second prepare overlaps, costing only its
+    # sender-side half.
+    assert TABLE_5_3_PATHS["3_node_read"].datagrams == 2.5
+
+
+def test_write_datagram_counts():
+    assert TABLE_5_3_PATHS["2_node_write"].datagrams == 4
+    # Paper: 5 (one extra half per phase); ours is identical arithmetic.
+    assert TABLE_5_3_PATHS["3_node_write"].datagrams == 5
+
+
+def test_read_only_paths_never_force_the_log():
+    for key in ("1_node_read", "2_node_read", "3_node_read"):
+        assert TABLE_5_3_PATHS[key].stable_writes == 0
+
+
+def test_read_path_smalls_close_to_paper():
+    """Paper: 11 small on the 2-node read path; our protocol's extra
+    txn-done note makes 12."""
+    ours = TABLE_5_3_PATHS["2_node_read"].small
+    paper = PAPER_TABLE_5_3["2_node_read"].small
+    assert abs(ours - paper) <= 1
+
+
+def test_write_path_smalls_reflect_presumed_abort_forcing():
+    """Paper counts 17 small and 1 stable on the 2-node write path; our
+    presumed-abort subordinate adds force conversations (+3 pairs of
+    force request/done and one more ack hop)."""
+    ours = TABLE_5_3_PATHS["2_node_write"]
+    assert ours.small == 22
+    assert ours.stable_writes == 3
+
+
+def test_three_node_adds_only_the_overlapped_halves():
+    read_two = TABLE_5_3_PATHS["2_node_read"]
+    read_three = TABLE_5_3_PATHS["3_node_read"]
+    assert read_three.small == read_two.small
+    assert read_three.datagrams - read_two.datagrams == 0.5
+
+
+def test_path_time_under_the_measured_profile():
+    """The 1-node write path prices out to the commit portion of the
+    paper's prediction: 8x3 + 4.4 + 79 = 107.4 ms."""
+    time = TABLE_5_3_PATHS["1_node_write"].time(MEASURED_1985)
+    assert time == pytest.approx(8 * 3.0 + 4.4 + 79.0)
+
+
+def test_node_range_validated():
+    with pytest.raises(ValueError):
+        commit_path(0, update=True)
+
+
+def test_fanout_extension_adds_half_datagrams():
+    """Beyond the paper's three nodes, each extra child adds 0.5 dg per
+    phase (read: one phase; write: two)."""
+    assert commit_path(5, update=False).datagrams == 2 + 3 * 0.5
+    assert commit_path(5, update=True).datagrams == 4 + 3 * 1.0

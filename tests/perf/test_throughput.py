@@ -1,0 +1,36 @@
+"""Unit tests for the throughput harness (kept short; the full sweep runs
+in benchmarks/bench_throughput.py)."""
+
+import pytest
+
+from repro.perf.throughput import ThroughputResult, run_throughput
+
+
+def test_result_rate_arithmetic():
+    result = ThroughputResult(concurrency=2, workload="disjoint",
+                              duration_ms=10_000.0, committed=25, aborted=0)
+    assert result.commits_per_second == 2.5
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        run_throughput(1, workload="nonsense")
+
+
+def test_single_app_throughput_matches_latency():
+    result = run_throughput(1, "disjoint", duration_ms=5_000.0)
+    # One write transaction is ~244 ms, so ~20 commits in 5 seconds.
+    assert result.committed == pytest.approx(20, abs=2)
+    assert result.aborted == 0
+
+
+def test_shared_cell_serializes():
+    disjoint = run_throughput(3, "disjoint", duration_ms=5_000.0)
+    shared = run_throughput(3, "shared", duration_ms=5_000.0)
+    assert shared.committed < disjoint.committed
+
+
+def test_runs_complete_within_duration():
+    result = run_throughput(2, "disjoint", duration_ms=2_000.0)
+    assert result.duration_ms == 2_000.0
+    assert result.committed > 0

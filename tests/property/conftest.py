@@ -1,0 +1,12 @@
+"""Shared helpers for property-based tests.
+
+These tests drive the full simulated stack, so they use the zero-cost
+profile (logic is under test, not latency) and modest example counts.
+"""
+
+from repro.core.config import TabsConfig
+from repro.kernel.costs import ZERO_COST, ZERO_CPU
+
+
+def fast_config(**overrides) -> TabsConfig:
+    return TabsConfig(profile=ZERO_COST, cpu_costs=ZERO_CPU, **overrides)

@@ -1,0 +1,161 @@
+"""Property-based tests: the B-tree always matches a model dictionary and
+keeps its structural invariants under arbitrary operation sequences."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TabsCluster
+from repro.servers.btree import (
+    MAX_KEYS,
+    META_PAGE,
+    MIN_KEYS,
+    BTreeServer,
+)
+from tests.property.conftest import fast_config
+
+KEYS = [f"k{i:02d}" for i in range(40)]
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.sampled_from(KEYS), st.integers(0, 99)),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS), st.just(0)),
+    st.tuples(st.just("update"), st.sampled_from(KEYS), st.integers(0, 99)),
+)
+
+
+def build():
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", BTreeServer.factory("tree"))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("tree"))
+
+    def create(tid):
+        yield from app.call(ref, "create_directory", {"directory": "d"}, tid)
+
+    cluster.run_transaction("n1", create)
+    return cluster, app, ref
+
+
+def apply_ops(cluster, app, ref, ops, model):
+    """Apply each op in its own transaction, mirroring into the model."""
+    for kind, key, value in ops:
+        def body(tid, kind=kind, key=key, value=value):
+            yield from app.call(ref, kind, {"directory": "d", "key": key,
+                                            "value": value}, tid)
+        expect_error = ((kind == "insert" and key in model)
+                        or (kind in ("delete", "update")
+                            and key not in model))
+        if expect_error:
+            with pytest.raises(Exception):
+                cluster.run_transaction("n1", body)
+            continue
+        cluster.run_transaction("n1", body)
+        if kind == "delete":
+            del model[key]
+        else:
+            model[key] = value
+
+
+def tree_pages(cluster, root):
+    """Walk the committed tree structure straight off the page cache."""
+    tabs = cluster.node("n1")
+    disk = tabs.node.disk
+    vm = tabs.node.vm
+
+    def node_at(page):
+        frame = vm.frame("n1:tree", page)
+        if frame is not None:
+            return frame.data.get(page * 512)
+        return disk.peek_page("n1:tree", page).get(page * 512)
+
+    seen = []
+
+    def walk(page, depth, lo, hi):
+        node = node_at(page)
+        assert node is not None, f"dangling child page {page}"
+        keys = node["keys"]
+        assert keys == sorted(keys), "keys must be sorted"
+        # Leaf splits copy the separator up (B+-tree style), so the lower
+        # bound is inclusive and the upper bound exclusive.
+        for key in keys:
+            assert lo is None or key >= lo
+            assert hi is None or key < hi
+        seen.append((page, depth, node))
+        if node["leaf"]:
+            return [depth]
+        assert len(node["children"]) == len(keys) + 1
+        depths = []
+        bounds = [lo, *keys, hi]
+        for index, child in enumerate(node["children"]):
+            depths.extend(walk(child, depth + 1,
+                               bounds[index], bounds[index + 1]))
+        return depths
+
+    depths = walk(root, 0, None, None)
+    return seen, depths
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(operation, max_size=40))
+def test_btree_matches_model_dict(ops):
+    cluster, app, ref = build()
+    model = {}
+    apply_ops(cluster, app, ref, ops, model)
+
+    def scan(tid):
+        result = yield from app.call(ref, "scan", {"directory": "d"}, tid)
+        return result["entries"]
+
+    entries = cluster.run_transaction("n1", scan)
+    assert dict(entries) == model
+    assert [key for key, _ in entries] == sorted(model)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(operation, min_size=10, max_size=60))
+def test_btree_structural_invariants(ops):
+    cluster, app, ref = build()
+    model = {}
+    apply_ops(cluster, app, ref, ops, model)
+
+    tabs = cluster.node("n1")
+    vm = tabs.node.vm
+
+    frame = vm.frame("n1:tree", META_PAGE)
+    meta = (frame.data.get(0) if frame is not None
+            else tabs.node.disk.peek_page("n1:tree", META_PAGE).get(0))
+    root = meta["directories"]["d"]
+    seen, depths = tree_pages(cluster, root)
+
+    # All leaves at the same depth; occupancy bounds hold everywhere but
+    # the root.
+    assert len(set(depths)) == 1
+    for page, _depth, node in seen:
+        assert len(node["keys"]) <= MAX_KEYS
+        if page != root:
+            assert len(node["keys"]) >= MIN_KEYS
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(operation, min_size=5, max_size=30),
+       crash_after=st.integers(0, 29))
+def test_btree_recovers_model_after_crash(ops, crash_after):
+    cluster, app, ref = build()
+    model = {}
+    apply_ops(cluster, app, ref, ops[:crash_after], model)
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+
+    app = cluster.application("n1")
+
+    def scan(tid):
+        ref2 = yield from app.lookup_one("tree")
+        result = yield from app.call(ref2, "scan", {"directory": "d"}, tid)
+        return result["entries"]
+
+    assert dict(cluster.run_transaction("n1", scan)) == model

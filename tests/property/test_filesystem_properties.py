@@ -1,0 +1,97 @@
+"""Property-based test: the transactional file system matches a model."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TabsCluster
+from repro.servers.filesystem import TransactionalFileSystemServer, normalize
+from tests.property.conftest import fast_config
+
+NAMES = ["a", "b", "c"]
+
+operation = st.one_of(
+    st.tuples(st.just("mkdir"), st.sampled_from(NAMES), st.just("")),
+    st.tuples(st.just("create"), st.sampled_from(NAMES), st.just("")),
+    st.tuples(st.just("write"), st.sampled_from(NAMES),
+              st.text(alphabet="xyz", max_size=600)),
+    st.tuples(st.just("append"), st.sampled_from(NAMES),
+              st.text(alphabet="pq", max_size=300)),
+    st.tuples(st.just("remove"), st.sampled_from(NAMES), st.just("")),
+)
+
+
+def build():
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1",
+                       TransactionalFileSystemServer.factory("disk"))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("disk"))
+
+    def mkfs(tid):
+        yield from app.call(ref, "mkfs", {}, tid)
+
+    cluster.run_transaction("n1", mkfs)
+    return cluster, app, ref
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(operation, max_size=25), crash=st.booleans())
+def test_filesystem_matches_model(ops, crash):
+    cluster, app, ref = build()
+    model: dict[str, object] = {}  # path -> content string or "<dir>"
+
+    for kind, name, data in ops:
+        path = normalize(f"/{name}")
+
+        def body(tid, kind=kind, path=path, data=data):
+            payload = {"path": path}
+            if kind in ("write", "append"):
+                payload["data"] = data
+            yield from app.call(ref, kind, payload, tid)
+
+        should_fail = (
+            (kind in ("mkdir", "create") and path in model)
+            or (kind in ("write", "append")
+                and model.get(path, "<dir>") == "<dir>")
+            or (kind == "remove" and path not in model))
+        if should_fail:
+            with pytest.raises(Exception):
+                cluster.run_transaction("n1", body)
+            continue
+        cluster.run_transaction("n1", body)
+        if kind == "mkdir":
+            model[path] = "<dir>"
+        elif kind == "create":
+            model[path] = ""
+        elif kind == "write":
+            model[path] = data
+        elif kind == "append":
+            model[path] = model[path] + data
+        else:
+            del model[path]
+
+    if crash:
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        ref = cluster.run_on("n1", app.lookup_one("disk"))
+
+    def verify(tid):
+        listing = yield from app.call(ref, "list_dir", {"path": "/"}, tid)
+        contents = {}
+        for name in listing["entries"]:
+            stat = yield from app.call(ref, "stat",
+                                       {"path": f"/{name}"}, tid)
+            if stat["kind"] == "dir":
+                contents[f"/{name}"] = "<dir>"
+            else:
+                data = yield from app.call(ref, "read",
+                                           {"path": f"/{name}"}, tid)
+                contents[f"/{name}"] = data["data"]
+        return contents
+
+    assert cluster.run_transaction("n1", verify) == model

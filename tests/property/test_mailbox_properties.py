@@ -1,0 +1,79 @@
+"""Property-based tests: mailbox conservation under mixed outcomes."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TabsCluster
+from repro.servers.mailbox import MailboxServer
+from tests.property.conftest import fast_config
+
+step = st.tuples(
+    st.sampled_from(["put_commit", "put_abort", "take_commit",
+                     "take_abort", "read"]),
+    st.integers(0, 2),     # mailbox
+    st.integers(0, 99),    # message payload
+)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(steps=st.lists(step, max_size=20), crash=st.booleans())
+def test_mailbox_conserves_committed_messages(steps, crash):
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", MailboxServer.factory("mail"))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("mail"))
+
+    model = {0: [], 1: [], 2: []}  # committed contents per mailbox
+
+    for kind, mailbox, payload in steps:
+        action, _, outcome = kind.partition("_")
+
+        def body(action=action, mailbox=mailbox, payload=payload):
+            tid = yield from app.begin_transaction()
+            if action == "put":
+                yield from app.call(ref, "put",
+                                    {"mailbox": mailbox,
+                                     "message": payload}, tid)
+                result = None
+            elif action == "take":
+                response = yield from app.call(ref, "take_all",
+                                               {"mailbox": mailbox}, tid)
+                result = response["messages"]
+            else:
+                response = yield from app.call(ref, "read_all",
+                                               {"mailbox": mailbox}, tid)
+                result = response["messages"]
+            return tid, result
+
+        tid, result = cluster.run_on("n1", body())
+        if action == "read":
+            assert sorted(result) == sorted(model[mailbox])
+            cluster.run_on("n1", app.end_transaction(tid))
+            continue
+        if outcome == "commit":
+            assert cluster.run_on("n1", app.end_transaction(tid))
+            if action == "put":
+                model[mailbox].append(payload)
+            else:
+                assert sorted(result) == sorted(model[mailbox])
+                model[mailbox] = []
+        else:
+            cluster.run_on("n1", app.abort_transaction(tid))
+
+    if crash:
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        ref = cluster.run_on("n1", app.lookup_one("mail"))
+
+    for mailbox in range(3):
+        def drain(tid, mailbox=mailbox):
+            response = yield from app.call(ref, "take_all",
+                                           {"mailbox": mailbox}, tid)
+            return response["messages"]
+
+        remaining = cluster.run_transaction("n1", drain)
+        assert sorted(remaining) == sorted(model[mailbox])

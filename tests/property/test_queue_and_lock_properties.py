@@ -1,0 +1,172 @@
+"""Property-based tests: weak-queue conservation, lock-manager safety,
+and quorum intersection."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TabsCluster
+from repro.errors import LockTimeout
+from repro.kernel.context import SimContext
+from repro.kernel.costs import ZERO_COST
+from repro.locking.manager import LockManager
+from repro.locking.modes import READ, WRITE
+from repro.servers.weak_queue import WeakQueueServer
+from repro.sim import Process
+from tests.property.conftest import fast_config
+
+
+# ---------------------------------------------------------------------------
+# Weak queue: committed items come out exactly once, aborted ones never.
+# ---------------------------------------------------------------------------
+
+queue_step = st.tuples(
+    st.sampled_from(["enqueue_commit", "enqueue_abort", "dequeue_commit",
+                     "dequeue_abort"]),
+    st.integers(0, 999),
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(steps=st.lists(queue_step, max_size=25))
+def test_weak_queue_conserves_committed_items(steps):
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", WeakQueueServer.factory("q", capacity=64))
+    cluster.start()
+    app = cluster.application("n1")
+    ref = cluster.run_on("n1", app.lookup_one("q"))
+
+    inside = []       # items committed into the queue, multiset
+    dequeued = []     # items committed out
+
+    for kind, item in steps:
+        action, outcome = kind.rsplit("_", 1)
+
+        def body(action=action, item=item):
+            tid = yield from app.begin_transaction()
+            if action == "enqueue":
+                yield from app.call(ref, "enqueue", {"data": item}, tid)
+                result = item
+            else:
+                try:
+                    response = yield from app.call(ref, "dequeue", {}, tid)
+                    result = response["data"]
+                except Exception:
+                    yield from app.abort_transaction(tid)
+                    return ("empty", None)
+            return (tid, result)
+
+        tid, result = cluster.run_on("n1", body())
+        if tid == "empty":
+            assert not inside  # dequeue may only fail when nothing is in
+            continue
+        if outcome == "commit":
+            assert cluster.run_on("n1", app.end_transaction(tid))
+            if action == "enqueue":
+                inside.append(item)
+            else:
+                dequeued.append(result)
+                inside.remove(result)
+        else:
+            cluster.run_on("n1", app.abort_transaction(tid))
+
+    # Drain: everything still inside comes out exactly once.
+    def drain(tid):
+        out = []
+        while True:
+            try:
+                response = yield from app.call(ref, "dequeue", {}, tid)
+            except Exception:
+                break
+            out.append(response["data"])
+        return out
+
+    def run_drain():
+        tid = yield from app.begin_transaction()
+        out = yield from drain(tid)
+        yield from app.end_transaction(tid)
+        return out
+
+    remaining = cluster.run_on("n1", run_drain())
+    assert sorted(remaining) == sorted(inside)
+
+
+# ---------------------------------------------------------------------------
+# Lock manager: no two transactions ever hold incompatible locks.
+# ---------------------------------------------------------------------------
+
+lock_step = st.tuples(
+    st.sampled_from(["lock_read", "lock_write", "release"]),
+    st.integers(0, 3),   # transaction index
+    st.integers(0, 2),   # object index
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(steps=st.lists(lock_step, max_size=40))
+def test_lock_manager_never_grants_conflicts(steps):
+    ctx = SimContext(profile=ZERO_COST)
+    locks = LockManager(ctx, default_timeout_ms=10.0)
+    tids = [f"t{i}" for i in range(4)]
+
+    def holder_modes(key):
+        entry = locks._locks.get(key)
+        return {tid: list(modes) for tid, modes in
+                (entry.holders.items() if entry else ())}
+
+    for kind, txn_index, obj_index in steps:
+        tid, key = tids[txn_index], f"obj{obj_index}"
+        if kind == "release":
+            locks.release_all(tid)
+        else:
+            mode = READ if kind == "lock_read" else WRITE
+
+            def attempt():
+                try:
+                    yield from locks.lock(tid, key, mode)
+                except LockTimeout:
+                    pass
+
+            ctx.engine.run_until(Process(ctx.engine, attempt()))
+        # Invariant: across every key, all pairs of holders compatible.
+        for check_key in (f"obj{i}" for i in range(3)):
+            holders = holder_modes(check_key)
+            for a, a_modes in holders.items():
+                for b, b_modes in holders.items():
+                    if a == b:
+                        continue
+                    for held in a_modes:
+                        for wanted in b_modes:
+                            assert locks.protocol.compatible(held, wanted), \
+                                f"{a}:{held} and {b}:{wanted} co-held"
+
+
+# ---------------------------------------------------------------------------
+# Weighted voting: any read quorum intersects any write quorum.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(weights=st.lists(st.integers(1, 5), min_size=1, max_size=6),
+       data=st.data())
+def test_quorum_intersection(weights, data):
+    total = sum(weights)
+    read_quorum = data.draw(st.integers(1, total))
+    write_quorum = data.draw(st.integers(1, total))
+    if read_quorum + write_quorum <= total or write_quorum * 2 <= total:
+        return  # the constructor rejects these; nothing to check
+
+    indices = list(range(len(weights)))
+
+    def subsets_reaching(target):
+        found = []
+        for mask in range(1, 1 << len(indices)):
+            chosen = [i for i in indices if mask & (1 << i)]
+            if sum(weights[i] for i in chosen) >= target:
+                found.append(set(chosen))
+        return found
+
+    for read_set in subsets_reaching(read_quorum):
+        for write_set in subsets_reaching(write_quorum):
+            assert read_set & write_set, (
+                f"read quorum {read_set} missed write quorum {write_set}")

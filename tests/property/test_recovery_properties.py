@@ -1,0 +1,195 @@
+"""Property-based tests of the recovery invariants.
+
+The fundamental guarantee: after any crash, recoverable objects "reflect
+only the operations of committed and prepared transactions" -- every cell
+equals the value written by the last *committed* transaction that touched
+it, regardless of how commits, aborts, and the crash interleave.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TabsCluster
+from repro.servers.int_array import IntegerArrayServer
+from repro.servers.op_array import OperationArrayServer
+from tests.property.conftest import fast_config
+
+# One scripted transaction: outcome + the cells it writes.
+txn_strategy = st.tuples(
+    st.sampled_from(["commit", "abort", "leave_open"]),
+    st.lists(st.tuples(st.integers(1, 8), st.integers(0, 99)),
+             min_size=1, max_size=4),
+)
+
+
+def build(factory):
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", factory)
+    cluster.start()
+    app = cluster.application("n1")
+    name = "srv"
+    ref = cluster.run_on("n1", app.lookup_one(name))
+    return cluster, app, ref
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(txn_strategy, max_size=8))
+def test_value_recovery_restores_exactly_committed_state(script):
+    cluster, app, ref = build(IntegerArrayServer.factory("srv"))
+    committed_state = {}
+
+    open_count = 0
+    touched = set(range(1, 9))
+    for outcome, writes in script:
+        # Transactions left open hold their locks until the crash, so each
+        # writes its own disjoint cell range and never blocks the script.
+        if outcome == "leave_open":
+            open_count += 1
+            writes = [(cell + 8 * open_count, value)
+                      for cell, value in writes]
+        touched.update(cell for cell, _ in writes)
+
+        def body(writes=writes):
+            tid = yield from app.begin_transaction()
+            for cell, value in writes:
+                yield from app.call(ref, "set_cell",
+                                    {"cell": cell, "value": value}, tid)
+            return tid
+
+        tid = cluster.run_on("n1", body())
+        if outcome == "commit":
+            committed = cluster.run_on("n1", app.end_transaction(tid))
+            assert committed
+            for cell, value in writes:
+                committed_state[cell] = value
+        elif outcome == "abort":
+            cluster.run_on("n1", app.abort_transaction(tid))
+        # "leave_open": still active when the crash hits
+
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+    app = cluster.application("n1")
+
+    def read_all(tid):
+        ref2 = yield from app.lookup_one("srv")
+        values = {}
+        for cell in sorted(touched):
+            result = yield from app.call(ref2, "get_cell",
+                                         {"cell": cell}, tid)
+            values[cell] = result["value"]
+        return values
+
+    values = cluster.run_transaction("n1", read_all)
+    for cell in sorted(touched):
+        assert values[cell] == committed_state.get(cell, 0)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(
+    st.tuples(st.sampled_from(["commit", "abort", "leave_open"]),
+              st.lists(st.tuples(st.integers(1, 8), st.integers(-5, 5)),
+                       min_size=1, max_size=3)),
+    max_size=6))
+def test_operation_recovery_restores_exactly_committed_state(script):
+    """Same invariant under the three-pass operation-logging algorithm,
+    with add_cell (a non-idempotent operation -- exactly what the sequence
+    numbers in the sector headers exist to make safe)."""
+    cluster, app, ref = build(OperationArrayServer.factory("srv"))
+    committed_state = {}
+
+    open_count = 0
+    touched = set(range(1, 9))
+    for outcome, deltas in script:
+        if outcome == "leave_open":
+            open_count += 1
+            deltas = [(cell + 8 * open_count, delta)
+                      for cell, delta in deltas]
+        touched.update(cell for cell, _ in deltas)
+
+        def body(deltas=deltas):
+            tid = yield from app.begin_transaction()
+            for cell, delta in deltas:
+                yield from app.call(ref, "add_cell",
+                                    {"cell": cell, "delta": delta}, tid)
+            return tid
+
+        tid = cluster.run_on("n1", body())
+        if outcome == "commit":
+            assert cluster.run_on("n1", app.end_transaction(tid))
+            for cell, delta in deltas:
+                committed_state[cell] = committed_state.get(cell, 0) + delta
+        elif outcome == "abort":
+            cluster.run_on("n1", app.abort_transaction(tid))
+
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+    app = cluster.application("n1")
+
+    def read_all(tid):
+        ref2 = yield from app.lookup_one("srv")
+        values = {}
+        for cell in sorted(touched):
+            result = yield from app.call(ref2, "get_cell",
+                                         {"cell": cell}, tid)
+            values[cell] = result["value"]
+        return values
+
+    values = cluster.run_transaction("n1", read_all)
+    for cell in sorted(touched):
+        assert values[cell] == committed_state.get(cell, 0)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=st.lists(txn_strategy, min_size=1, max_size=6),
+       crash_twice=st.booleans())
+def test_recovery_is_idempotent_across_double_crashes(script, crash_twice):
+    """Crashing again immediately after recovery must change nothing."""
+    cluster, app, ref = build(IntegerArrayServer.factory("srv"))
+    committed_state = {}
+    open_count = 0
+    touched = set(range(1, 9))
+    for outcome, writes in script:
+        if outcome == "leave_open":
+            open_count += 1
+            writes = [(cell + 8 * open_count, value)
+                      for cell, value in writes]
+        touched.update(cell for cell, _ in writes)
+
+        def body(writes=writes):
+            tid = yield from app.begin_transaction()
+            for cell, value in writes:
+                yield from app.call(ref, "set_cell",
+                                    {"cell": cell, "value": value}, tid)
+            return tid
+        tid = cluster.run_on("n1", body())
+        if outcome == "commit":
+            cluster.run_on("n1", app.end_transaction(tid))
+            for cell, value in writes:
+                committed_state[cell] = value
+        elif outcome == "abort":
+            cluster.run_on("n1", app.abort_transaction(tid))
+
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+    if crash_twice:
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+
+    app = cluster.application("n1")
+
+    def read_all(tid):
+        ref2 = yield from app.lookup_one("srv")
+        values = {}
+        for cell in sorted(touched):
+            result = yield from app.call(ref2, "get_cell",
+                                         {"cell": cell}, tid)
+            values[cell] = result["value"]
+        return values
+
+    values = cluster.run_transaction("n1", read_all)
+    for cell in sorted(touched):
+        assert values[cell] == committed_state.get(cell, 0)

@@ -1,0 +1,132 @@
+"""Unit tests for recovery log analysis and outcome resolution."""
+
+from repro.recovery.analysis import Outcome, analyze
+from repro.txn.ids import TransactionID
+from repro.wal.records import (
+    CheckpointRecord,
+    TransactionStatusRecord,
+    TxnStatus,
+    ValueUpdateRecord,
+)
+
+
+def tid(seq, path=()):
+    return TransactionID("n", seq, path)
+
+
+def seal(records):
+    for index, record in enumerate(records, start=1):
+        record.lsn = index
+    return records
+
+
+def status(t, kind, **kwargs):
+    return TransactionStatusRecord(tid=t, status=kind, **kwargs)
+
+
+def test_committed_transaction_resolves_committed():
+    plan = analyze(seal([ValueUpdateRecord(tid=tid(1)),
+                         status(tid(1), TxnStatus.COMMITTED)]))
+    assert plan.resolve(tid(1)) is Outcome.COMMITTED
+
+
+def test_aborted_transaction_resolves_aborted():
+    plan = analyze(seal([status(tid(1), TxnStatus.ABORTED)]))
+    assert plan.resolve(tid(1)) is Outcome.ABORTED
+    assert tid(1) in plan.aborted
+
+
+def test_unfinished_transaction_is_loser():
+    plan = analyze(seal([ValueUpdateRecord(tid=tid(1))]))
+    assert plan.resolve(tid(1)) is Outcome.LOSER
+
+
+def test_prepared_without_outcome_is_in_doubt():
+    plan = analyze(seal([
+        status(tid(1), TxnStatus.PREPARED, coordinator="boss",
+               servers=("s",))]))
+    assert plan.resolve(tid(1)) is Outcome.PREPARED
+    assert tid(1) in plan.prepared
+    assert plan.prepared[tid(1)].coordinator == "boss"
+
+
+def test_prepared_then_committed_is_committed():
+    plan = analyze(seal([
+        status(tid(1), TxnStatus.PREPARED),
+        status(tid(1), TxnStatus.COMMITTED)]))
+    assert plan.resolve(tid(1)) is Outcome.COMMITTED
+    assert tid(1) not in plan.prepared
+
+
+def test_merged_subtransaction_follows_parent():
+    child = tid(1, (1,))
+    plan = analyze(seal([
+        ValueUpdateRecord(tid=child),
+        status(child, TxnStatus.MERGED, merged_into=tid(1)),
+        status(tid(1), TxnStatus.COMMITTED)]))
+    assert plan.resolve(child) is Outcome.COMMITTED
+
+
+def test_merged_into_loser_parent_is_loser():
+    child = tid(1, (1,))
+    plan = analyze(seal([
+        status(child, TxnStatus.MERGED, merged_into=tid(1))]))
+    assert plan.resolve(child) is Outcome.LOSER
+
+
+def test_aborted_subtransaction_does_not_follow_parent():
+    child = tid(1, (1,))
+    plan = analyze(seal([
+        status(child, TxnStatus.ABORTED),
+        status(tid(1), TxnStatus.COMMITTED)]))
+    assert plan.resolve(child) is Outcome.ABORTED
+
+
+def test_nested_merges_chain_to_toplevel():
+    grandchild = tid(1, (1, 1))
+    child = tid(1, (1,))
+    plan = analyze(seal([
+        status(grandchild, TxnStatus.MERGED, merged_into=child),
+        status(child, TxnStatus.MERGED, merged_into=tid(1)),
+        status(tid(1), TxnStatus.COMMITTED)]))
+    assert plan.resolve(grandchild) is Outcome.COMMITTED
+
+
+def test_committed_with_children_and_no_end_record_redrives_phase_two():
+    plan = analyze(seal([
+        status(tid(1), TxnStatus.COMMITTED, children=("other",))]))
+    assert tid(1) in plan.committed_unacked
+
+
+def test_end_record_clears_redrive():
+    plan = analyze(seal([
+        status(tid(1), TxnStatus.COMMITTED, children=("other",)),
+        status(tid(1), TxnStatus.ENDED)]))
+    assert tid(1) not in plan.committed_unacked
+
+
+def test_committed_leaf_never_redrives():
+    plan = analyze(seal([status(tid(1), TxnStatus.COMMITTED)]))
+    assert tid(1) not in plan.committed_unacked
+
+
+def test_scan_bound_without_checkpoint_is_zero():
+    plan = analyze(seal([ValueUpdateRecord(tid=tid(1))]))
+    assert plan.scan_bound() == 0
+
+
+def test_scan_bound_uses_checkpoint_and_dirty_pages():
+    checkpoint = CheckpointRecord(dirty_pages={("seg", 0): 3})
+    plan = analyze(seal([
+        ValueUpdateRecord(tid=tid(1)),
+        ValueUpdateRecord(tid=tid(1)),
+        status(tid(1), TxnStatus.COMMITTED),
+        checkpoint]))
+    assert plan.checkpoint is checkpoint
+    assert plan.scan_bound() == 3  # the dirty page pins lsn 3
+
+
+def test_clean_checkpoint_bound_is_its_own_lsn():
+    checkpoint = CheckpointRecord()
+    plan = analyze(seal([ValueUpdateRecord(tid=tid(1)), checkpoint]))
+    assert plan.scan_bound() == checkpoint.lsn

@@ -1,0 +1,146 @@
+"""Unit tests for the RPC runtime (local and inter-node calls)."""
+
+import pytest
+
+from repro.comm.manager import CommunicationManager
+from repro.comm.network import Network
+from repro.errors import ServerError, SessionBroken
+from repro.kernel.context import SimContext
+from repro.kernel.costs import MEASURED_1985, Primitive, ZERO_CPU
+from repro.kernel.node import Node
+from repro.rpc.stubs import ServiceRef, call, respond, respond_error
+from repro.sim import Process
+from repro.txn.ids import TransactionID
+
+
+@pytest.fixture
+def world():
+    ctx = SimContext(cpu_costs=ZERO_CPU)
+    network = Network(ctx)
+    nodes = {}
+    for name in ("a", "b"):
+        node = Node(ctx, name)
+        CommunicationManager(node, network)
+        nodes[name] = node
+    return ctx, network, nodes
+
+
+def echo_server(node, name="svc"):
+    """A server loop that echoes its request body."""
+    port = node.create_port(name)
+
+    def loop():
+        while True:
+            message = yield port.receive()
+            if message.body.get("explode"):
+                respond_error(message, ServerError("boom"))
+            else:
+                respond(message, {"echo": message.body.get("x")})
+
+    node.spawn(loop(), name=name, defused=True)
+    return port
+
+
+def run(ctx, gen):
+    return ctx.engine.run_until(Process(ctx.engine, gen))
+
+
+def test_local_call_roundtrip_and_cost(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["a"])
+    ref = ServiceRef("a", port, epoch=0)
+    body = run(ctx, call(network, nodes["a"], ref, "op", {"x": 42}))
+    assert body["echo"] == 42
+    assert ctx.meter.count(Primitive.DATA_SERVER_CALL) == 1
+    assert ctx.engine.now == MEASURED_1985.time_of(
+        Primitive.DATA_SERVER_CALL)
+
+
+def test_remote_call_roundtrip_and_cost(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+    body = run(ctx, call(network, nodes["a"], ref, "op", {"x": "hi"}))
+    assert body["echo"] == "hi"
+    assert ctx.meter.count(Primitive.INTER_NODE_DATA_SERVER_CALL) == 1
+    assert ctx.meter.count(Primitive.DATA_SERVER_CALL) == 0
+
+
+def test_remote_call_records_spanning_tree(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+    tid = TransactionID("a", 1)
+    run(ctx, call(network, nodes["a"], ref, "op", {}, tid=tid))
+    assert network.manager("a").spanning_record(tid).children == {"b"}
+    assert network.manager("b").spanning_record(tid).parent == "a"
+
+
+def test_server_exception_marshalled_back(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["a"])
+    ref = ServiceRef("a", port, epoch=0)
+    with pytest.raises(ServerError, match="boom"):
+        run(ctx, call(network, nodes["a"], ref, "op", {"explode": True}))
+
+
+def test_remote_call_to_down_node_fails_fast(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+    nodes["b"].crash()
+    with pytest.raises(SessionBroken):
+        run(ctx, call(network, nodes["a"], ref, "op", {}))
+
+
+def test_remote_call_times_out_when_server_never_replies(world):
+    ctx, network, nodes = world
+    silent = nodes["b"].create_port("silent")
+    ref = ServiceRef("b", silent, epoch=0)
+    with pytest.raises(SessionBroken, match="no response"):
+        run(ctx, call(network, nodes["a"], ref, "op", {},
+                      timeout_ms=500.0))
+    assert ctx.engine.now >= 500.0
+
+
+def test_stale_epoch_reference_rejected(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+    nodes["b"].crash()
+    nodes["b"].restart()
+    CommunicationManager(nodes["b"], network)
+    with pytest.raises(SessionBroken, match="stale"):
+        run(ctx, call(network, nodes["a"], ref, "op", {}))
+
+
+def test_node_crash_mid_call_detected(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+
+    def crash_soon():
+        from repro.sim import Timeout
+        yield Timeout(ctx.engine, 10.0)  # inside the 44.5 ms request leg
+        nodes["b"].crash()
+
+    Process(ctx.engine, crash_soon()).defused = True
+    with pytest.raises(SessionBroken):
+        run(ctx, call(network, nodes["a"], ref, "op", {}))
+
+
+def test_response_body_is_copied_not_aliased(world):
+    ctx, network, nodes = world
+    port = nodes["a"].create_port("svc")
+    shared = {"x": 1}
+
+    def loop():
+        while True:
+            message = yield port.receive()
+            respond(message, shared)
+
+    nodes["a"].spawn(loop(), defused=True)
+    ref = ServiceRef("a", port, epoch=0)
+    body = run(ctx, call(network, nodes["a"], ref, "op", {}))
+    body["x"] = 999
+    assert shared["x"] == 1

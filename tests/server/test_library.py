@@ -1,0 +1,253 @@
+"""Unit tests for the server library (Table 3-1), against a live node."""
+
+import pytest
+
+from repro import TabsCluster, TabsConfig
+from repro.errors import ServerError
+from repro.kernel.disk import PAGE_SIZE
+from repro.kernel.vm import ObjectID
+from repro.locking.modes import READ, WRITE
+from repro.servers.base import BaseDataServer
+from repro.txn.ids import TransactionID
+from tests.property.conftest import fast_config
+
+
+class ScratchServer(BaseDataServer):
+    """A bare server exposing the library for direct exercise."""
+
+    TYPE_NAME = "scratch"
+    SEGMENT_PAGES = 16
+
+    def op_poke(self, body, tid):
+        return {"ok": True}
+        yield  # pragma: no cover
+
+
+@pytest.fixture
+def env():
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", ScratchServer.factory("scratch"))
+    cluster.start()
+    server = cluster.node("n1").servers["scratch"]
+    app = cluster.application("n1")
+    return cluster, server, app
+
+
+def begin(cluster, app):
+    def body():
+        tid = yield from app.begin_transaction()
+        return tid
+    return cluster.run_on("n1", body())
+
+
+class TestAddressArithmetic:
+    def test_create_object_id_roundtrip(self, env):
+        cluster, server, app = env
+        lib = server.library
+        oid = lib.create_object_id(server.base_va + 100, 8)
+        assert oid == ObjectID(server.segment_id, 100, 8)
+        assert lib.convert_object_id_to_va(oid) == server.base_va + 100
+
+    def test_out_of_segment_va_rejected(self, env):
+        cluster, server, app = env
+        with pytest.raises(Exception):
+            server.library.create_object_id(1, 8)
+
+
+class TestPinDiscipline:
+    def test_write_to_unpinned_object_rejected(self, env):
+        cluster, server, app = env
+        lib = server.library
+        oid = lib.create_object_id(server.base_va, 8)
+
+        def body():
+            yield from lib.write_object(oid, 1)
+
+        with pytest.raises(ServerError, match="unpinned"):
+            cluster.run_on("n1", body())
+
+    def test_log_and_unpin_requires_pin_and_buffer(self, env):
+        cluster, server, app = env
+        lib = server.library
+        tid = begin(cluster, app)
+        oid = lib.create_object_id(server.base_va, 8)
+
+        def body():
+            yield from lib.log_and_unpin(tid, oid)
+
+        with pytest.raises(ServerError, match="without pin_and_buffer"):
+            cluster.run_on("n1", body())
+
+    def test_multi_page_object_rejected_for_value_logging(self, env):
+        cluster, server, app = env
+        lib = server.library
+        tid = begin(cluster, app)
+        oid = lib.create_object_id(server.base_va, 2 * PAGE_SIZE)
+
+        def body():
+            yield from lib.pin_and_buffer(tid, oid)
+
+        with pytest.raises(ServerError, match="one page"):
+            cluster.run_on("n1", body())
+
+    def test_pin_and_buffer_captures_old_value(self, env):
+        cluster, server, app = env
+        lib = server.library
+        tid = begin(cluster, app)
+        oid = lib.create_object_id(server.base_va, 8)
+
+        def body():
+            yield from lib.lock_object(tid, oid, WRITE)
+            yield from lib.pin_and_buffer(tid, oid)
+            yield from lib.write_object(oid, "new")
+            yield from lib.log_and_unpin(tid, oid)
+
+        cluster.run_on("n1", body())
+        durable = cluster.node("n1").rm.wal.record_at(
+            cluster.node("n1").rm.wal.last_lsn - 0)  # newest record
+        # The newest chained record for the txn carries old None -> "new".
+        chain_head = cluster.node("n1").rm._chains[tid]
+        record = cluster.node("n1").rm.wal.record_at(chain_head)
+        assert record.old_value is None
+        assert record.new_value == "new"
+        del durable
+
+
+class TestMarkedObjects:
+    def test_batch_cycle(self, env):
+        cluster, server, app = env
+        lib = server.library
+        tid = begin(cluster, app)
+        oids = [lib.create_object_id(server.base_va + i * 8, 8)
+                for i in range(3)]
+
+        def body():
+            for oid in oids:
+                yield from lib.lock_and_mark(tid, oid, WRITE)
+            yield from lib.pin_and_buffer_marked_objects(tid)
+            for index, oid in enumerate(oids):
+                yield from lib.write_object(oid, index)
+            yield from lib.log_and_unpin_marked_objects(tid)
+
+        cluster.run_on("n1", body())
+        local = lib._txns[tid]
+        assert local.marked == []
+        assert local.buffers == {}
+        assert local.write_set == set(oids)
+        for oid in oids:
+            assert not cluster.node("n1").node.vm.is_pinned(oid)
+
+    def test_locks_all_acquired_before_any_pin(self, env):
+        """The checkpoint protocol requires no waiting while pinned; the
+        marked-object batch acquires every lock before pinning anything."""
+        cluster, server, app = env
+        lib = server.library
+        tid = begin(cluster, app)
+        oids = [lib.create_object_id(server.base_va + i * 8, 8)
+                for i in range(2)]
+
+        def body():
+            for oid in oids:
+                yield from lib.lock_and_mark(tid, oid, WRITE)
+            # Both locks held, nothing pinned yet.
+            assert all(lib.locks.holds(tid, oid, WRITE) for oid in oids)
+            assert not any(cluster.node("n1").node.vm.is_pinned(oid)
+                           for oid in oids)
+            yield from lib.pin_and_buffer_marked_objects(tid)
+
+        cluster.run_on("n1", body())
+
+
+class TestOperationLoggingApi:
+    def test_log_operation_requires_registered_appliers(self, env):
+        cluster, server, app = env
+        lib = server.library
+        tid = begin(cluster, app)
+        oid = lib.create_object_id(server.base_va, 8)
+
+        def body():
+            yield from lib.pin_object(oid)
+            yield from lib.log_operation(tid, "mystery", (), "mystery", (),
+                                         (oid,))
+
+        with pytest.raises(ServerError, match="no registered recovery"):
+            cluster.run_on("n1", body())
+
+    def test_recovery_applier_dispatch(self, env):
+        cluster, server, app = env
+        lib = server.library
+        applied = []
+
+        def applier(args):
+            applied.append(args)
+            return
+            yield
+
+        lib.register_recovery_operation("noted", applier)
+        cluster.run_on("n1", lib.recovery_applier("noted", (1, 2)))
+        assert applied == [(1, 2)]
+
+
+class TestFailureHandling:
+    def test_failed_operation_releases_pins(self, env):
+        """An operation that raises mid-way must not leave pages pinned
+        (a pinned page can never be evicted or checkpointed)."""
+        cluster, server, app = env
+        lib = server.library
+        oid = lib.create_object_id(server.base_va, 8)
+
+        def failing(op, body, tid):
+            yield from lib.lock_object(tid, oid, WRITE)
+            yield from lib.pin_and_buffer(tid, oid)
+            raise ServerError("operation exploded")
+
+        server.library.accept_requests(failing)
+        tid = begin(cluster, app)
+
+        def call():
+            ref = yield from app.lookup_one("scratch")
+            yield from app.call(ref, "anything", {}, tid)
+
+        with pytest.raises(ServerError, match="exploded"):
+            cluster.run_on("n1", call())
+        assert not cluster.node("n1").node.vm.is_pinned(oid)
+
+    def test_unknown_system_op_rejected(self, env):
+        cluster, server, app = env
+        from repro.kernel.messages import Message
+        from repro.kernel.ports import Port
+
+        reply = Port(cluster.ctx, node=cluster.node("n1").node)
+        server.library.port.send(Message(op="ds.bogus", reply_to=reply))
+        response = cluster.engine.run_until(reply.receive())
+        assert "error" in response.body
+
+
+class TestSubtransactionTransfer:
+    def test_subtxn_commit_merges_server_state(self, env):
+        cluster, server, app = env
+        lib = server.library
+        parent = TransactionID("n1", 77)
+        child = parent.child(1)
+        oid = lib.create_object_id(server.base_va, 8)
+
+        def body():
+            yield from lib.lock_object(child, oid, WRITE)
+            yield from lib.pin_and_buffer(child, oid)
+            yield from lib.write_object(oid, 5)
+            yield from lib.log_and_unpin(child, oid)
+
+        cluster.run_on("n1", body())
+        from repro.kernel.messages import Message
+        from repro.kernel.ports import Port
+
+        reply = Port(cluster.ctx, node=cluster.node("n1").node)
+        lib.port.send(Message(op="ds.subtxn_commit",
+                              body={"child": child, "parent": parent},
+                              reply_to=reply))
+        cluster.engine.run_until(reply.receive())
+        assert lib.locks.holds(parent, oid, WRITE)
+        assert not lib.locks.holds(child, oid)
+        assert oid in lib._txns[parent].write_set
+        assert child not in lib._txns

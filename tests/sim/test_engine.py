@@ -1,0 +1,92 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    engine = Engine()
+    seen = []
+    engine.schedule(5.0, lambda: seen.append(engine.now))
+    engine.schedule(2.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [2.0, 5.0]
+    assert engine.now == 5.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    engine = Engine()
+    seen = []
+    for i in range(10):
+        engine.schedule(1.0, lambda i=i: seen.append(i))
+    engine.run()
+    assert seen == list(range(10))
+
+
+def test_schedule_now_runs_after_pending_same_time_work():
+    engine = Engine()
+    seen = []
+    engine.schedule(0.0, lambda: seen.append("first"))
+    engine.schedule_now(lambda: seen.append("second"))
+    engine.run()
+    assert seen == ["first", "second"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_run_until_time_stops_clock_exactly():
+    engine = Engine()
+    seen = []
+    engine.schedule(10.0, lambda: seen.append("late"))
+    engine.run(until=4.0)
+    assert seen == []
+    assert engine.now == 4.0
+    engine.run()
+    assert seen == ["late"]
+
+
+def test_run_until_past_time_rejected():
+    engine = Engine()
+    engine.schedule(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.run(until=5.0)
+
+
+def test_callbacks_can_schedule_more_work():
+    engine = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            engine.schedule(1.0, lambda: chain(n + 1))
+
+    engine.schedule(1.0, lambda: chain(0))
+    engine.run()
+    assert seen == [0, 1, 2, 3]
+    assert engine.now == 4.0
+
+
+def test_step_returns_false_when_idle():
+    engine = Engine()
+    assert engine.step() is False
+
+
+def test_pending_count():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_count() == 2
+    engine.run()
+    assert engine.pending_count() == 0

@@ -1,0 +1,134 @@
+"""Unit tests for events, timeouts, and composite conditions."""
+
+import pytest
+
+from repro.errors import SimulationError, TabsError
+from repro.sim import AllOf, AnyOf, Engine, Event, Timeout
+
+
+def test_event_lifecycle():
+    engine = Engine()
+    event = Event(engine, "e")
+    assert not event.triggered and not event.processed
+    event.succeed(42)
+    assert event.triggered and not event.processed
+    engine.run()
+    assert event.processed
+    assert event.result() == 42
+
+
+def test_event_cannot_trigger_twice():
+    engine = Engine()
+    event = Event(engine).succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_result_before_trigger_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        Event(engine).result()
+
+
+def test_failed_event_reraises():
+    engine = Engine()
+    event = Event(engine)
+    event.fail(TabsError("boom"))
+    engine.run()
+    with pytest.raises(TabsError, match="boom"):
+        event.result()
+
+
+def test_fail_requires_exception():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        Event(engine).fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callback_after_processed_still_fires():
+    engine = Engine()
+    event = Event(engine).succeed("v")
+    engine.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.result()))
+    engine.run()
+    assert seen == ["v"]
+
+
+def test_remove_callback():
+    engine = Engine()
+    event = Event(engine)
+    seen = []
+    callback = lambda e: seen.append(1)  # noqa: E731
+    event.add_callback(callback)
+    event.remove_callback(callback)
+    event.succeed()
+    engine.run()
+    assert seen == []
+
+
+def test_timeout_fires_at_deadline():
+    engine = Engine()
+    timeout = Timeout(engine, 7.5, value="done")
+    engine.run()
+    assert engine.now == 7.5
+    assert timeout.result() == "done"
+
+
+def test_any_of_yields_first_completion():
+    engine = Engine()
+    slow = Timeout(engine, 10.0, "slow")
+    fast = Timeout(engine, 3.0, "fast")
+    condition = AnyOf(engine, [slow, fast])
+    engine.run(until=4.0)
+    assert condition.result() == (1, "fast")
+
+
+def test_any_of_propagates_failure():
+    engine = Engine()
+    bad = Event(engine)
+    condition = AnyOf(engine, [bad, Timeout(engine, 100.0)])
+    bad.fail(TabsError("bad"))
+    engine.run(until=1.0)
+    with pytest.raises(TabsError):
+        condition.result()
+
+
+def test_all_of_collects_values_in_order():
+    engine = Engine()
+    first = Timeout(engine, 9.0, "a")
+    second = Timeout(engine, 1.0, "b")
+    condition = AllOf(engine, [first, second])
+    engine.run()
+    assert condition.result() == ["a", "b"]
+
+
+def test_all_of_empty_succeeds_immediately():
+    engine = Engine()
+    condition = AllOf(engine, [])
+    engine.run()
+    assert condition.result() == []
+
+
+def test_all_of_fails_on_first_child_failure():
+    engine = Engine()
+    bad = Event(engine)
+    condition = AllOf(engine, [bad, Timeout(engine, 5.0)])
+    bad.fail(TabsError("child failed"))
+    engine.run()
+    with pytest.raises(TabsError, match="child failed"):
+        condition.result()
+
+
+def test_run_until_event():
+    engine = Engine()
+    timeout = Timeout(engine, 4.0, "x")
+    assert engine.run_until(timeout) == "x"
+    assert engine.now == 4.0
+
+
+def test_run_until_unreachable_event_is_deadlock():
+    engine = Engine()
+    event = Event(engine)
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run_until(event)

@@ -1,0 +1,204 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import Interrupt, ProcessKilled, SimulationError, TabsError
+from repro.sim import Engine, Process, Timeout
+
+
+def test_process_runs_and_returns_value():
+    engine = Engine()
+
+    def body():
+        yield Timeout(engine, 5.0)
+        return "result"
+
+    process = Process(engine, body())
+    assert engine.run_until(process) == "result"
+    assert engine.now == 5.0
+    assert not process.alive
+
+
+def test_process_receives_event_values():
+    engine = Engine()
+
+    def body():
+        value = yield Timeout(engine, 1.0, "hello")
+        return value.upper()
+
+    assert engine.run_until(Process(engine, body())) == "HELLO"
+
+
+def test_processes_interleave_deterministically():
+    engine = Engine()
+    trace = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield Timeout(engine, period)
+            trace.append((engine.now, name))
+
+    Process(engine, worker("a", 2.0)).defused = True
+    Process(engine, worker("b", 3.0)).defused = True
+    engine.run()
+    # At t=6.0 both fire; b's timeout was scheduled first (at t=3.0) so it
+    # wakes first -- deterministic FIFO ordering of same-time events.
+    assert trace == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"),
+                     (6.0, "a"), (9.0, "b")]
+
+
+def test_process_waits_on_another_process():
+    engine = Engine()
+
+    def child():
+        yield Timeout(engine, 4.0)
+        return 10
+
+    def parent():
+        value = yield Process(engine, child())
+        return value + 1
+
+    assert engine.run_until(Process(engine, parent())) == 11
+
+
+def test_process_exception_propagates_to_waiter():
+    engine = Engine()
+
+    def child():
+        yield Timeout(engine, 1.0)
+        raise TabsError("child blew up")
+
+    def parent():
+        try:
+            yield Process(engine, child())
+        except TabsError:
+            return "caught"
+
+    assert engine.run_until(Process(engine, parent())) == "caught"
+
+
+def test_unobserved_process_failure_crashes_simulation():
+    engine = Engine()
+
+    def body():
+        yield Timeout(engine, 1.0)
+        raise TabsError("nobody is watching")
+
+    Process(engine, body())
+    with pytest.raises(TabsError, match="nobody is watching"):
+        engine.run()
+
+
+def test_defused_process_failure_is_swallowed():
+    engine = Engine()
+
+    def body():
+        yield Timeout(engine, 1.0)
+        raise TabsError("expected")
+
+    Process(engine, body()).defused = True
+    engine.run()  # must not raise
+
+
+def test_yielding_non_event_fails_process():
+    engine = Engine()
+
+    def body():
+        yield 42
+
+    process = Process(engine, body())
+    process.defused = True
+    engine.run()
+    with pytest.raises(SimulationError):
+        process.result()
+
+
+def test_interrupt_is_catchable():
+    engine = Engine()
+
+    def body():
+        try:
+            yield Timeout(engine, 100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause)
+
+    process = Process(engine, body())
+    engine.run(until=1.0)
+    process.interrupt(cause="deadline")
+    assert engine.run_until(process) == ("interrupted", "deadline")
+    assert engine.now < 100.0
+
+
+def test_interrupted_wait_does_not_deliver_stale_wakeup():
+    engine = Engine()
+    wakeups = []
+
+    def body():
+        short = Timeout(engine, 2.0, "short")
+        try:
+            wakeups.append((yield short))
+        except Interrupt:
+            pass
+        wakeups.append((yield Timeout(engine, 5.0, "second")))
+
+    process = Process(engine, body())
+    engine.run(until=1.0)
+    process.interrupt()
+    engine.run_until(process)
+    # The 2.0 timeout fired while we were already waiting on the second one;
+    # its stale wake-up must not be delivered as the second value.
+    assert wakeups == ["second"]
+
+
+def test_kill_destroys_process_without_resuming():
+    engine = Engine()
+    cleanups = []
+
+    def body():
+        try:
+            yield Timeout(engine, 100.0)
+        finally:
+            cleanups.append("closed")
+
+    process = Process(engine, body())
+    engine.run(until=1.0)
+    process.kill("node crash")
+    engine.run()
+    assert cleanups == ["closed"]  # generator.close() ran the finally block
+    assert not process.alive
+    with pytest.raises(ProcessKilled):
+        process.result()
+
+
+def test_kill_is_idempotent():
+    engine = Engine()
+
+    def body():
+        yield Timeout(engine, 100.0)
+
+    process = Process(engine, body())
+    engine.run(until=1.0)
+    process.kill()
+    process.kill()
+    engine.run()
+    assert not process.alive
+
+
+def test_interrupt_after_death_is_noop():
+    engine = Engine()
+
+    def body():
+        yield Timeout(engine, 1.0)
+        return "done"
+
+    process = Process(engine, body())
+    engine.run()
+    process.interrupt()
+    engine.run()
+    assert process.result() == "done"
+
+
+def test_process_requires_generator():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        Process(engine, lambda: None)  # type: ignore[arg-type]

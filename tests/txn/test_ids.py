@@ -1,0 +1,72 @@
+"""Tests for transaction identifiers."""
+
+from repro.txn.ids import NULL_TID, TidFactory, TransactionID
+
+
+def test_toplevel_identity():
+    tid = TransactionID("n1", 7)
+    assert tid.is_toplevel
+    assert tid.toplevel == tid
+    assert tid.parent is None
+    assert str(tid) == "n1.7"
+
+
+def test_null_tid():
+    assert NULL_TID.is_null
+    assert not TransactionID("n1", 1).is_null
+
+
+def test_child_and_parent():
+    tid = TransactionID("n1", 7)
+    child = tid.child(1)
+    grandchild = child.child(2)
+    assert child.parent == tid
+    assert grandchild.parent == child
+    assert grandchild.toplevel == tid
+    assert str(grandchild) == "n1.7/1/2"
+
+
+def test_ancestry():
+    tid = TransactionID("n1", 7)
+    child = tid.child(1)
+    assert tid.is_ancestor_of(child)
+    assert tid.is_ancestor_of(child.child(3))
+    assert not tid.is_ancestor_of(tid)
+    assert not child.is_ancestor_of(tid)
+    assert not tid.is_ancestor_of(TransactionID("n2", 7).child(1))
+
+
+def test_factory_allocates_unique_toplevels():
+    factory = TidFactory("n1")
+    tids = {factory.new_toplevel() for _ in range(100)}
+    assert len(tids) == 100
+    assert all(t.node == "n1" for t in tids)
+
+
+def test_factories_on_different_nodes_never_collide():
+    a, b = TidFactory("a"), TidFactory("b")
+    assert a.new_toplevel() != b.new_toplevel()
+
+
+def test_epoch_prevents_post_crash_collisions():
+    before = TidFactory("n1", epoch=0)
+    first = before.new_toplevel()
+    after = TidFactory("n1", epoch=1)  # fresh counter, bumped epoch
+    assert after.new_toplevel() != first
+
+
+def test_subtransaction_indices_count_per_parent():
+    factory = TidFactory("n1")
+    parent = factory.new_toplevel()
+    other = factory.new_toplevel()
+    first = factory.new_subtransaction(parent)
+    second = factory.new_subtransaction(parent)
+    assert first != second
+    assert factory.new_subtransaction(other).path == (1,)
+
+
+def test_ordering_is_total():
+    ids = [TransactionID("b", 1), TransactionID("a", 2),
+           TransactionID("a", 1), TransactionID("a", 1, (1,))]
+    ordered = sorted(ids)
+    assert ordered[0] == TransactionID("a", 1)

@@ -1,0 +1,64 @@
+"""Tests for log record types."""
+
+from repro.kernel.messages import MessageKind, classify_size
+from repro.kernel.vm import ObjectID
+from repro.wal.records import (
+    CheckpointRecord,
+    OperationRecord,
+    RecordKind,
+    TransactionStatusRecord,
+    TxnStatus,
+    ValueUpdateRecord,
+)
+
+
+def test_value_record_kind_and_fields():
+    oid = ObjectID("seg", 0, 4)
+    record = ValueUpdateRecord(tid="t1", server="array", oid=oid,
+                               old_value=1, new_value=2)
+    assert record.kind is RecordKind.VALUE_UPDATE
+    assert record.old_value == 1 and record.new_value == 2
+
+
+def test_value_record_with_page_sized_values_is_large_message():
+    """Old+new page images push the carrying message into the large class."""
+    page_image = bytes(480)
+    record = ValueUpdateRecord(old_value=page_image, new_value=page_image)
+    assert classify_size(record.size_bytes()) is MessageKind.LARGE
+
+
+def test_small_value_record_is_still_nontrivial():
+    record = ValueUpdateRecord(old_value=1, new_value=2)
+    assert record.size_bytes() >= 64
+
+
+def test_operation_record_carries_inverse():
+    record = OperationRecord(
+        tid="t1", server="queue", operation="enqueue", redo_args=(5,),
+        undo_operation="unenqueue", undo_args=(5,),
+        oids=(ObjectID("seg", 0, 4), ObjectID("seg", 512, 4)))
+    assert record.kind is RecordKind.OPERATION
+    assert record.undo_operation == "unenqueue"
+    assert len(record.oids) == 2
+
+
+def test_status_record_defaults():
+    record = TransactionStatusRecord(tid="t1", status=TxnStatus.PREPARED,
+                                     servers=("a", "b"), coordinator="node2")
+    assert record.kind is RecordKind.TXN_STATUS
+    assert record.status is TxnStatus.PREPARED
+    assert record.servers == ("a", "b")
+
+
+def test_checkpoint_record_contents():
+    record = CheckpointRecord(
+        dirty_pages={("seg", 0): 10, ("seg", 3): 12},
+        active_transactions={"t1": "active"},
+        attached_servers={"array": "seg"})
+    assert record.kind is RecordKind.CHECKPOINT
+    assert record.size_bytes() > 64
+
+
+def test_lsn_defaults_to_unassigned():
+    assert ValueUpdateRecord().lsn == 0
+    assert ValueUpdateRecord().prev_lsn == 0
