@@ -14,6 +14,8 @@ Public entry points:
 - :class:`DataServerLibrary` -- Table 3-1 (the server library).
 - :mod:`repro.servers` -- the Section 4 data servers.
 - :mod:`repro.perf` -- benchmarks and the microscopic performance model.
+- :mod:`repro.chaos` -- deterministic fault injection and torture
+  workloads (see docs/CHAOS.md).
 """
 
 from repro.app.library import ApplicationLibrary

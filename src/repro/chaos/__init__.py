@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the TABS simulation.
+
+The chaos harness has three layers:
+
+- :mod:`repro.chaos.plan` -- declarative, immutable fault schedules
+  (:class:`FaultPlan`) built from timed actions (crash, restart,
+  partition, link faults, disk slowdowns) and log-triggered crashes
+  (:class:`CrashWhenLogged`, for hitting exact commit-protocol windows);
+- :mod:`repro.chaos.controller` -- :class:`ChaosController` installs a
+  plan onto a live cluster, records a deterministic event trace, and
+  provides repair/quiescence helpers;
+- :mod:`repro.chaos.workload` -- :class:`ChaosWorkload` drives seeded
+  randomized transfer/queue traffic and audits the transaction
+  guarantees afterwards (conservation, atomicity, durability, drainage).
+
+Every run is exactly reproducible from ``(seed, plan)``; the determinism
+regression tests assert trace-for-trace equality across reruns.
+"""
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.plan import (
+    CrashAt,
+    CrashWhenLogged,
+    DiskSlowdown,
+    FaultAction,
+    FaultPlan,
+    HealAt,
+    LinkFaultWindow,
+    PartitionAt,
+    RestartAt,
+    random_plan,
+)
+from repro.chaos.workload import (
+    ChaosWorkload,
+    TxnRecord,
+    WorkloadStats,
+    build_cluster,
+)
+
+__all__ = [
+    "ChaosController",
+    "ChaosWorkload",
+    "CrashAt",
+    "CrashWhenLogged",
+    "DiskSlowdown",
+    "FaultAction",
+    "FaultPlan",
+    "HealAt",
+    "LinkFaultWindow",
+    "PartitionAt",
+    "RestartAt",
+    "TxnRecord",
+    "WorkloadStats",
+    "build_cluster",
+    "random_plan",
+]

@@ -1,0 +1,268 @@
+"""The chaos controller: installs a fault plan onto a live cluster.
+
+The controller schedules every timed action on the cluster's engine, spawns
+watcher processes for log-triggered crashes, restarts crashed nodes (full
+crash recovery) where the plan says so, and records everything it does --
+plus, optionally, every network event -- into a deterministic event trace.
+Re-running the same ``(seed, plan)`` against the same cluster construction
+reproduces the trace bit for bit, which the determinism regression suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.plan import (
+    CrashAt,
+    CrashWhenLogged,
+    DiskSlowdown,
+    FaultPlan,
+    HealAt,
+    LinkFaultWindow,
+    PartitionAt,
+    RestartAt,
+)
+from repro.errors import TabsError
+from repro.sim import Process, Timeout
+from repro.wal.records import TransactionStatusRecord, TxnStatus
+
+
+class ChaosController:
+    """Drives one :class:`FaultPlan` against one :class:`TabsCluster`."""
+
+    def __init__(self, cluster, plan: FaultPlan, seed: int = 0,
+                 trace_network: bool = False) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.rng = random.Random(seed)
+        #: deterministic event trace: (time_ms, kind, *details)
+        self.trace: list[tuple] = []
+        #: every terminal status ever durably logged, per node -- immune to
+        #: log truncation, for the post-run audits: {node: {tid: {status}}}
+        self.status_history: dict[str, dict] = {}
+        self._installed = False
+        self._watchers: list[Process] = []
+        if trace_network:
+            cluster.network.trace_hook = self._network_event
+        for name, tabs_node in cluster.nodes.items():
+            tabs_node.node.on_crash.append(self._node_crashed)
+            tabs_node.node.on_restart.append(self._node_restarted)
+            self.status_history[name] = {}
+            tabs_node.log_store.observers.append(
+                lambda record, node=name: self._observe(node, record))
+
+    # -- trace -------------------------------------------------------------------
+
+    def record(self, kind: str, *details) -> None:
+        self.trace.append((self.engine.now, kind, *details))
+
+    def _network_event(self, time_ms: float, event: str, source: str,
+                       target: str, op: str) -> None:
+        self.trace.append((time_ms, "net", event, source, target, op))
+
+    def _node_crashed(self, node) -> None:
+        self.trace.append((self.engine.now, "crash", node.name))
+
+    def _node_restarted(self, node) -> None:
+        self.trace.append((self.engine.now, "restart", node.name,
+                           node.epoch))
+
+    def _observe(self, node: str, record) -> None:
+        if (isinstance(record, TransactionStatusRecord)
+                and record.status in (TxnStatus.COMMITTED,
+                                      TxnStatus.ABORTED)):
+            self.status_history[node].setdefault(
+                record.tid, set()).add(record.status.value)
+
+    @property
+    def engine(self):
+        return self.cluster.engine
+
+    @property
+    def network(self):
+        return self.cluster.network
+
+    # -- installation -------------------------------------------------------------
+
+    def install(self) -> None:
+        """Schedule every plan action.  Call once, before driving the run."""
+        if self._installed:
+            raise TabsError("fault plan already installed")
+        self._installed = True
+        for action in self.plan:
+            self._install_action(action)
+
+    def _install_action(self, action) -> None:
+        if isinstance(action, CrashAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._crash(
+                                     a.node, a.restart_after_ms))
+        elif isinstance(action, RestartAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._spawn_restart(a.node))
+        elif isinstance(action, PartitionAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._partition(a))
+            if action.heal_after_ms is not None:
+                self.engine.schedule(action.at_ms + action.heal_after_ms,
+                                     self._heal)
+        elif isinstance(action, HealAt):
+            self.engine.schedule(action.at_ms, self._heal)
+        elif isinstance(action, LinkFaultWindow):
+            self.engine.schedule(action.start_ms,
+                                 lambda a=action: self._link_fault(a))
+            self.engine.schedule(action.end_ms,
+                                 lambda a=action: self._link_heal(a))
+        elif isinstance(action, DiskSlowdown):
+            self.engine.schedule(action.start_ms,
+                                 lambda a=action: self._disk(a, a.factor))
+            self.engine.schedule(action.end_ms,
+                                 lambda a=action: self._disk(a, 1.0))
+        elif isinstance(action, CrashWhenLogged):
+            watcher = Process(self.engine, self._watch(action),
+                              name=f"chaos:watch:{action.crash_node}")
+            self._watchers.append(watcher)
+        else:  # pragma: no cover - exhaustive over FaultAction
+            raise TabsError(f"unknown fault action {action!r}")
+
+    # -- timed actions -------------------------------------------------------------
+
+    def _crash(self, name: str, restart_after_ms: float | None) -> None:
+        tabs_node = self.cluster.node(name)
+        if not tabs_node.node.alive:
+            return  # already down; the pending restart will revive it
+        tabs_node.crash()
+        if restart_after_ms is not None:
+            self.engine.schedule(restart_after_ms,
+                                 lambda: self._spawn_restart(name))
+
+    def _spawn_restart(self, name: str) -> Process | None:
+        """Restart + full crash recovery as a background process."""
+        tabs_node = self.cluster.node(name)
+        if tabs_node.node.alive:
+            return None
+        return Process(self.engine, tabs_node.restart_generator(),
+                       name=f"chaos:restart:{name}")
+
+    def _partition(self, action: PartitionAt) -> None:
+        self.network.partition(action.groups)
+        self.record("partition",
+                    "|".join(",".join(group) for group in action.groups))
+
+    def _heal(self) -> None:
+        if self.network.partitioned:
+            self.network.heal()
+            self.record("heal")
+
+    def _link_fault(self, action: LinkFaultWindow) -> None:
+        # Plan times are relative to install(); rebase the expiry instant.
+        until = self.engine.now + (action.end_ms - action.start_ms)
+        self.network.set_link_fault(
+            action.source, action.target, loss=action.loss,
+            duplicate=action.duplicate, reorder=action.reorder,
+            reorder_delay_ms=action.reorder_delay_ms,
+            until=until, both_ways=action.both_ways)
+        self.record("link-fault", action.source, action.target,
+                    action.loss, action.duplicate, action.reorder)
+
+    def _link_heal(self, action: LinkFaultWindow) -> None:
+        self.network.clear_link_fault(action.source, action.target,
+                                      both_ways=action.both_ways)
+        self.record("link-heal", action.source, action.target)
+
+    def _disk(self, action: DiskSlowdown, factor: float) -> None:
+        self.cluster.node(action.node).node.disk.latency_factor = factor
+        self.record("disk-latency", action.node, factor)
+
+    # -- triggered crashes ----------------------------------------------------------
+
+    def _watch(self, action: CrashWhenLogged):
+        """Poll durable logs until the trigger condition holds, then crash.
+
+        The ``seen``/``not_seen`` conditions are matched against a single
+        transaction family: the trigger fires when some transaction has
+        reached every ``seen`` point without reaching any ``not_seen``
+        point -- which is what "crash mid-prepare" means.
+        """
+        armed_at = self.engine.now
+        if action.arm_after_ms:
+            yield Timeout(self.engine, action.arm_after_ms)
+        while True:
+            yield Timeout(self.engine, action.poll_ms)
+            if (action.disarm_after_ms
+                    and self.engine.now - armed_at > action.disarm_after_ms):
+                self.record("watch-disarmed", action.crash_node)
+                return
+            tid = self._trigger_tid(action)
+            if tid is not None:
+                self.record("trigger", action.crash_node, str(tid),
+                            ";".join(f"{n}:{s}" for n, s in action.seen))
+                self._crash(action.crash_node, action.restart_after_ms)
+                return
+
+    def _trigger_tid(self, action: CrashWhenLogged):
+        """A transaction satisfying all of seen and none of not_seen."""
+        first_node, first_status = action.seen[0]
+        for tid in self._tids_logged(first_node, first_status):
+            if (all(self._tid_logged(node, status, tid)
+                    for node, status in action.seen[1:])
+                    and not any(self._tid_logged(node, status, tid)
+                                for node, status in action.not_seen)):
+                return tid
+        return None
+
+    def _tids_logged(self, node_name: str, status_name: str) -> list:
+        """Transactions with this durable status at the node (log order)."""
+        status = TxnStatus(status_name)
+        store = self.cluster.node(node_name).log_store
+        return [record.tid
+                for record in store.read_forward(store.truncated_before)
+                if isinstance(record, TransactionStatusRecord)
+                and record.status is status and record.tid is not None]
+
+    def _tid_logged(self, node_name: str, status_name: str, tid) -> bool:
+        """Does the node durably record this status for tid's family?"""
+        status = TxnStatus(status_name)
+        store = self.cluster.node(node_name).log_store
+        return any(isinstance(record, TransactionStatusRecord)
+                   and record.status is status and record.tid is not None
+                   and record.tid.toplevel == tid.toplevel
+                   for record in store.read_forward(store.truncated_before))
+
+    def triggers_pending(self) -> int:
+        """Watchers still armed (diagnostic for scenario assertions)."""
+        return sum(1 for watcher in self._watchers if watcher.alive)
+
+    # -- repair / quiescence ----------------------------------------------------------
+
+    def repair_all(self) -> list[Process]:
+        """Heal the network, clear faults, and restart every downed node.
+
+        Returns the restart processes (already scheduled); run the engine
+        to drive the recoveries to completion.
+        """
+        self._heal()
+        self.network.clear_all_link_faults()
+        for watcher in self._watchers:
+            if watcher.alive:
+                watcher.kill("chaos repair: watcher disarmed")
+                self.record("watch-disarmed", watcher.name)
+        restarts = []
+        for name, tabs_node in self.cluster.nodes.items():
+            tabs_node.node.disk.latency_factor = 1.0
+            if not tabs_node.node.alive:
+                process = self._spawn_restart(name)
+                if process is not None:
+                    restarts.append(process)
+        return restarts
+
+    def quiesce(self, max_ms: float = 600_000.0) -> bool:
+        """Run the engine until the event queue drains (bounded).
+
+        Returns True when the simulation went fully quiet.  A False return
+        means some process is still spinning (e.g. an in-doubt transaction
+        whose coordinator never came back) -- itself a finding for the
+        torture suite's assertions.
+        """
+        return self.engine.drain(max_ms)

@@ -1,0 +1,185 @@
+"""Fault plans: declarative schedules of failures for one simulated run.
+
+A :class:`FaultPlan` is an immutable list of fault actions.  Timed actions
+fire at a fixed simulated millisecond; *triggered* actions watch a node's
+durable log and fire when the commit protocol reaches a chosen point
+(mid-prepare, mid-commit, the in-doubt window).  Because the simulation and
+every random roll derive from seeds, a run is exactly reproducible from
+``(seed, plan)`` -- the property QUANTAS-style simulators exploit for
+systematic fault exploration.
+
+Plans are built either explicitly (the torture scenarios each pin one
+protocol window) or randomly via :func:`random_plan` (the soak test).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Power-fail ``node`` at ``at_ms``; restart after ``restart_after_ms``
+    (None leaves it down until the harness restarts it)."""
+
+    at_ms: float
+    node: str
+    restart_after_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class RestartAt:
+    """Restart ``node`` (running full crash recovery) at ``at_ms``."""
+
+    at_ms: float
+    node: str
+
+
+@dataclass(frozen=True)
+class PartitionAt:
+    """Split the network into ``groups`` at ``at_ms``.  Nodes not listed
+    fall into singleton partitions."""
+
+    at_ms: float
+    groups: tuple[tuple[str, ...], ...]
+    heal_after_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class HealAt:
+    """Remove any active partition at ``at_ms``."""
+
+    at_ms: float
+
+
+@dataclass(frozen=True)
+class LinkFaultWindow:
+    """Loss/duplication/reordering on one link between two instants."""
+
+    start_ms: float
+    end_ms: float
+    source: str
+    target: str
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay_ms: float = 50.0
+    both_ways: bool = True
+
+
+@dataclass(frozen=True)
+class DiskSlowdown:
+    """Multiply ``node``'s disk latency by ``factor`` during the window."""
+
+    start_ms: float
+    end_ms: float
+    node: str
+    factor: float = 4.0
+
+
+@dataclass(frozen=True)
+class CrashWhenLogged:
+    """Crash ``crash_node`` when the durable logs reach a protocol point.
+
+    The conditions are matched per transaction family: the trigger fires
+    as soon as *some* transaction has a durable record for every ``seen``
+    pair (``(node, status)``, status being a :class:`TxnStatus` value name
+    such as ``"prepared"``) while having none for any ``not_seen`` pair.
+    Examples:
+
+    - participant crash **mid-prepare**: ``seen=(("p", "prepared"),)``,
+      ``not_seen=(("c", "committed"),)``;
+    - participant crash **in the in-doubt window**:
+      ``seen=(("p", "prepared"), ("c", "committed"))``,
+      ``not_seen=(("p", "committed"),)``;
+    - coordinator crash **mid-commit** (phase two not yet acknowledged):
+      ``seen=(("c", "committed"),)``, ``not_seen=(("p", "committed"),)``.
+    """
+
+    crash_node: str
+    seen: tuple[tuple[str, str], ...]
+    not_seen: tuple[tuple[str, str], ...] = ()
+    restart_after_ms: float | None = None
+    #: watcher polling grain in simulated ms
+    poll_ms: float = 0.5
+    #: do not arm the watcher before this instant
+    arm_after_ms: float = 0.0
+    #: give up watching after this instant (0 = never)
+    disarm_after_ms: float = 0.0
+
+
+FaultAction = (CrashAt | RestartAt | PartitionAt | HealAt | LinkFaultWindow
+               | DiskSlowdown | CrashWhenLogged)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault actions."""
+
+    actions: tuple[FaultAction, ...] = ()
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    @classmethod
+    def of(cls, *actions: FaultAction) -> "FaultPlan":
+        return cls(tuple(actions))
+
+
+def random_plan(seed: int, nodes: list[str], duration_ms: float,
+                episodes: int = 4,
+                crash_weight: int = 4, partition_weight: int = 2,
+                link_weight: int = 2, disk_weight: int = 1) -> FaultPlan:
+    """A reproducible random torture schedule over ``nodes``.
+
+    Every episode is a bounded fault-and-repair pair (crash+restart,
+    partition+heal, a link-fault window, or a disk slowdown), so the plan
+    always returns the cluster to a repairable state for the post-run
+    invariant checks.  The same ``(seed, nodes, duration_ms, ...)`` always
+    yields the same plan.
+    """
+    rng = random.Random(seed)
+    kinds = (["crash"] * crash_weight + ["partition"] * partition_weight
+             + ["link"] * link_weight + ["disk"] * disk_weight)
+    actions: list[FaultAction] = []
+    for _ in range(episodes):
+        kind = rng.choice(kinds)
+        start = rng.uniform(0.05, 0.7) * duration_ms
+        window = rng.uniform(0.05, 0.25) * duration_ms
+        if kind == "crash":
+            actions.append(CrashAt(start, rng.choice(nodes),
+                                   restart_after_ms=window))
+        elif kind == "partition":
+            if len(nodes) < 2:
+                continue
+            shuffled = nodes[:]
+            rng.shuffle(shuffled)
+            cut = rng.randrange(1, len(shuffled))
+            actions.append(PartitionAt(
+                start, (tuple(shuffled[:cut]), tuple(shuffled[cut:])),
+                heal_after_ms=window))
+        elif kind == "link":
+            source, target = rng.sample(nodes, 2) if len(nodes) >= 2 else \
+                (nodes[0], nodes[0])
+            actions.append(LinkFaultWindow(
+                start, start + window, source, target,
+                loss=rng.uniform(0.05, 0.4),
+                duplicate=rng.uniform(0.0, 0.3),
+                reorder=rng.uniform(0.0, 0.3)))
+        else:
+            actions.append(DiskSlowdown(start, start + window,
+                                        rng.choice(nodes),
+                                        factor=rng.uniform(2.0, 8.0)))
+    actions.sort(key=_action_time)
+    return FaultPlan(tuple(actions))
+
+
+def _action_time(action: FaultAction) -> float:
+    for attr in ("at_ms", "start_ms", "arm_after_ms"):
+        if hasattr(action, attr):
+            return getattr(action, attr)
+    return 0.0  # pragma: no cover - every action carries a time

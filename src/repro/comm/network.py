@@ -5,11 +5,25 @@ node names, reports liveness (a crashed node is simply unreachable -- there
 is no oracle beyond failed communication), and carries datagrams with an
 optional loss rate for failure-injection tests.  Sessions are layered on
 top in :mod:`repro.comm.sessions`.
+
+Fault injection (driven by :mod:`repro.chaos`):
+
+- **Partitions** split the nodes into groups; a datagram whose source and
+  target fall in different groups is silently discarded (counted in
+  ``datagrams_blocked``) and sessions across the cut break.  ``heal()``
+  rejoins the network.
+- **Per-link faults** attach a loss / duplication / reordering probability
+  to one directed link for a bounded window of simulated time.  All rolls
+  come from the cluster's seeded RNG, so a run is exactly reproducible.
+- An optional **trace hook** observes every send, arrival, and drop with
+  its simulated timestamp; the chaos harness uses it for the determinism
+  regression suite.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import CommunicationError
 from repro.kernel.context import SimContext
@@ -18,6 +32,23 @@ from repro.kernel.node import Node
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.comm.manager import CommunicationManager
+
+
+@dataclass
+class LinkFault:
+    """Failure behaviour of one directed link for a bounded time window."""
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    #: extra latency (ms) given to a reordered datagram so later traffic
+    #: overtakes it
+    reorder_delay_ms: float = 50.0
+    #: simulated time after which the fault stops applying (None = forever)
+    until: float | None = None
+
+    def active(self, now: float) -> bool:
+        return self.until is None or now <= self.until
 
 
 class Network:
@@ -33,6 +64,22 @@ class Network:
         self._managers: dict[str, "CommunicationManager"] = {}
         self.datagrams_sent = 0
         self.datagrams_lost = 0
+        #: datagrams that reached the target node while it was down -- the
+        #: wire worked, the endpoint did not.  Distinct from loss so failure
+        #: tests can tell injected drops from crash-window drops.
+        self.datagrams_undeliverable = 0
+        #: datagrams discarded because a partition separated the endpoints
+        self.datagrams_blocked = 0
+        self.datagrams_duplicated = 0
+        self.datagrams_reordered = 0
+        #: partition id per node; None means the network is whole
+        self._partition: dict[str, int] | None = None
+        self._link_faults: dict[tuple[str, str], LinkFault] = {}
+        #: called as hook(time_ms, event, source, target, op) when set;
+        #: events are "send", "recv", "lost", "blocked", "undeliverable",
+        #: "dup", "reorder".
+        self.trace_hook: Callable[[float, str, str, str, str], None] | None \
+            = None
 
     # -- registry ---------------------------------------------------------------
 
@@ -64,27 +111,162 @@ class Network:
     def epoch_of(self, name: str) -> int:
         return self.node(name).epoch
 
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the network: nodes in different groups cannot communicate.
+
+        Nodes not named in any group each land in their own singleton
+        partition.  A new partition replaces any existing one.
+        """
+        mapping: dict[str, int] = {}
+        for group_id, group in enumerate(groups):
+            for name in group:
+                if name not in self._nodes:
+                    raise CommunicationError(
+                        f"cannot partition unknown node {name!r}")
+                if name in mapping:
+                    raise CommunicationError(
+                        f"node {name!r} appears in two partition groups")
+                mapping[name] = group_id
+        next_id = len(groups)
+        for name in self._nodes:
+            if name not in mapping:
+                mapping[name] = next_id
+                next_id += 1
+        self._partition = mapping
+
+    def heal(self) -> None:
+        """Remove any partition: every node can reach every other again."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def reachable(self, source: str, target: str) -> bool:
+        """Can a message from ``source`` currently reach ``target``?
+
+        False when the target is down or a partition separates the two.
+        An unknown/empty source is treated as unpartitioned (used by
+        infrastructure messages that predate fault injection).
+        """
+        if not self.is_up(target):
+            return False
+        return not self._partition_blocks(source, target)
+
+    def _partition_blocks(self, source: str, target: str) -> bool:
+        """Does the active partition separate ``source`` from ``target``?"""
+        if self._partition is None or not source:
+            return False
+        source_group = self._partition.get(source)
+        target_group = self._partition.get(target)
+        if source_group is None or target_group is None:
+            return False
+        return source_group != target_group
+
+    # -- per-link faults ---------------------------------------------------------
+
+    def set_link_fault(self, source: str, target: str,
+                       loss: float = 0.0, duplicate: float = 0.0,
+                       reorder: float = 0.0,
+                       reorder_delay_ms: float = 50.0,
+                       until: float | None = None,
+                       both_ways: bool = True) -> None:
+        """Attach loss/duplication/reordering to a directed link.
+
+        With ``both_ways`` (the default) the reverse direction gets the
+        same fault -- the usual model for a flaky physical segment.
+        """
+        for rate, label in ((loss, "loss"), (duplicate, "duplicate"),
+                            (reorder, "reorder")):
+            if not 0.0 <= rate <= 1.0:
+                raise CommunicationError(
+                    f"link {label} rate {rate} outside [0, 1]")
+        fault = LinkFault(loss=loss, duplicate=duplicate, reorder=reorder,
+                          reorder_delay_ms=reorder_delay_ms, until=until)
+        self._link_faults[(source, target)] = fault
+        if both_ways:
+            self._link_faults[(target, source)] = LinkFault(
+                loss=loss, duplicate=duplicate, reorder=reorder,
+                reorder_delay_ms=reorder_delay_ms, until=until)
+
+    def clear_link_fault(self, source: str, target: str,
+                         both_ways: bool = True) -> None:
+        self._link_faults.pop((source, target), None)
+        if both_ways:
+            self._link_faults.pop((target, source), None)
+
+    def clear_all_link_faults(self) -> None:
+        self._link_faults.clear()
+
+    def _link_fault(self, source: str, target: str) -> LinkFault | None:
+        fault = self._link_faults.get((source, target))
+        if fault is None:
+            return None
+        if not fault.active(self.ctx.now):
+            del self._link_faults[(source, target)]
+            return None
+        return fault
+
+    # -- tracing -----------------------------------------------------------------
+
+    def _trace(self, event: str, source: str, target: str, op: str) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(self.ctx.now, event, source, target, op)
+
     # -- datagram transport -----------------------------------------------------
 
     def deliver_datagram(self, target: str, message: Message,
-                         latency_ms: float) -> None:
+                         latency_ms: float, source: str = "") -> None:
         """Queue a datagram for delivery to ``target``'s Communication
-        Manager after ``latency_ms``.  Silently dropped if the target is
-        down at delivery time or the loss roll fails -- datagram semantics.
+        Manager after ``latency_ms``.  Silently dropped when a partition
+        blocks the link, the loss roll fails, or the target is down at
+        delivery time -- datagram semantics.  Each category has its own
+        counter so failure tests can tell the drop modes apart.
         """
+        source = source or message.sender_node or ""
         self.datagrams_sent += 1
+        self._trace("send", source, target, message.op)
+        if self._partition_blocks(source, target):
+            self.datagrams_blocked += 1
+            self._trace("blocked", source, target, message.op)
+            return
         if (self.datagram_loss_rate and
                 self.ctx.random.random() < self.datagram_loss_rate):
             self.datagrams_lost += 1
+            self._trace("lost", source, target, message.op)
             return
+
+        copies = 1
+        fault = self._link_fault(source, target) if source else None
+        if fault is not None:
+            if fault.loss and self.ctx.random.random() < fault.loss:
+                self.datagrams_lost += 1
+                self._trace("lost", source, target, message.op)
+                return
+            if fault.duplicate and self.ctx.random.random() < fault.duplicate:
+                copies = 2
+                self.datagrams_duplicated += 1
+                self._trace("dup", source, target, message.op)
+            if fault.reorder and self.ctx.random.random() < fault.reorder:
+                # Delay this datagram so traffic sent later overtakes it.
+                latency_ms += fault.reorder_delay_ms
+                self.datagrams_reordered += 1
+                self._trace("reorder", source, target, message.op)
 
         def arrive() -> None:
             if not self.is_up(target):
-                self.datagrams_lost += 1
+                self.datagrams_undeliverable += 1
+                self._trace("undeliverable", source, target, message.op)
                 return
+            self._trace("recv", source, target, message.op)
             self._managers[target].deliver_inbound_datagram(message)
 
-        self.ctx.engine.schedule(latency_ms, arrive)
+        for copy in range(copies):
+            # A duplicate trails the original slightly, as a retransmitted
+            # or doubly-routed packet would.
+            self.ctx.engine.schedule(latency_ms * (1 + copy), arrive)
 
     def broadcast_datagram(self, source: str, message_factory:
                            Callable[[str], Message],
@@ -97,7 +279,8 @@ class Network:
         targets = [name for name in self._nodes
                    if name != source and self.is_up(name)]
         for name in targets:
-            self.deliver_datagram(name, message_factory(name), latency_ms)
+            self.deliver_datagram(name, message_factory(name), latency_ms,
+                                  source=source)
             self.datagrams_sent -= 1  # broadcast is one wire transmission
         self.datagrams_sent += 1 if targets else 0
         return len(targets)

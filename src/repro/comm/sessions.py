@@ -31,10 +31,10 @@ class Session:
         self.local = local
         self.remote = remote
         self.session_id = next(_session_ids)
-        if not network.is_up(remote):
+        if not network.reachable(local, remote):
             raise SessionBroken(
                 f"cannot establish session {local} -> {remote}: "
-                "remote node is down")
+                "remote node is down or partitioned away")
         self.remote_epoch = network.epoch_of(remote)
         self.broken = False
         #: messages carried, for at-most-once sequence accounting
@@ -43,7 +43,7 @@ class Session:
     @property
     def usable(self) -> bool:
         return (not self.broken
-                and self.network.is_up(self.remote)
+                and self.network.reachable(self.local, self.remote)
                 and self.network.epoch_of(self.remote) == self.remote_epoch)
 
     def check(self) -> None:

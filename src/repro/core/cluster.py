@@ -71,6 +71,14 @@ class TabsCluster:
     def crash_node(self, name: str) -> None:
         self.node(name).crash()
 
+    def partition(self, *groups) -> None:
+        """Split the network into the given node groups (see
+        :meth:`repro.comm.network.Network.partition`)."""
+        self.network.partition(groups)
+
+    def heal_partition(self) -> None:
+        self.network.heal()
+
     def restart_node(self, name: str):
         """Restart a crashed node and run its crash recovery.
 

@@ -99,6 +99,10 @@ class LogFull(WriteAheadLogError):
     """The non-volatile log ran out of space and reclamation failed."""
 
 
+class WalCodecError(WriteAheadLogError):
+    """A log record could not be encoded or decoded (corrupt/truncated)."""
+
+
 class RecoveryError(TabsError):
     """Crash recovery encountered an inconsistency."""
 

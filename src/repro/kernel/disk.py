@@ -48,6 +48,18 @@ class Disk:
         self._last_read: dict[str, int] = {}
         self.reads = 0
         self.writes = 0
+        #: fault injection: every I/O takes ``latency_factor`` times its
+        #: nominal time (a failing drive retrying sectors, a saturated
+        #: controller).  Only the excess is uncharged latency, so the cost
+        #: meter still reflects the paper's primitive accounting.
+        self.latency_factor = 1.0
+
+    def _io_latency(self, primitive: Primitive) -> Iterator[Timeout]:
+        yield self.ctx.charge(primitive)
+        if self.latency_factor > 1.0:
+            extra = (self.ctx.profile.time_of(primitive)
+                     * (self.latency_factor - 1.0))
+            yield Timeout(self.ctx.engine, extra, name="disk-latency-spike")
 
     def read_page(self, segment_id: str, page: int) -> Iterator[Timeout]:
         """Read one page (generator; yields the I/O latency).
@@ -59,7 +71,7 @@ class Disk:
         self._last_read[segment_id] = page
         primitive = (Primitive.SEQUENTIAL_READ if sequential
                      else Primitive.RANDOM_PAGED_IO)
-        yield self.ctx.charge(primitive)
+        yield from self._io_latency(primitive)
         self.reads += 1
         return dict(self._pages.get((segment_id, page), {}))
 
@@ -67,7 +79,7 @@ class Disk:
                    data: dict[int, object],
                    sequence_number: int | None = None) -> Iterator[Timeout]:
         """Write one page and, atomically, its header sequence number."""
-        yield self.ctx.charge(Primitive.RANDOM_PAGED_IO)
+        yield from self._io_latency(Primitive.RANDOM_PAGED_IO)
         self._pages[(segment_id, page)] = dict(data)
         if sequence_number is not None:
             self._headers[(segment_id, page)] = (

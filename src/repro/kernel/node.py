@@ -11,7 +11,7 @@ crash recovery.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Callable, Generator
 
 from repro.errors import NodeDown
 from repro.kernel.context import SimContext
@@ -38,6 +38,12 @@ class Node:
         self._ports: list[Port] = []
         #: well-known local services (e.g. "transaction_manager" -> Port)
         self.services: dict[str, Port] = {}
+        #: total power failures suffered (diagnostic)
+        self.crashes = 0
+        #: observers notified on crash/restart (fault-injection tracing);
+        #: callbacks receive this node and must not raise
+        self.on_crash: list[Callable[["Node"], None]] = []
+        self.on_restart: list[Callable[["Node"], None]] = []
 
     # -- process / port management -------------------------------------------
 
@@ -87,6 +93,9 @@ class Node:
         self._ports.clear()
         self.services.clear()
         self.vm.clear_volatile()
+        self.crashes += 1
+        for callback in list(self.on_crash):
+            callback(self)
 
     def restart(self) -> None:
         """Power back on with empty volatile state and a new epoch.
@@ -99,6 +108,8 @@ class Node:
         self.alive = True
         self.epoch += 1
         self.vm = VirtualMemory(self.ctx, self.disk, self.vm_capacity_pages)
+        for callback in list(self.on_restart):
+            callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "up" if self.alive else "down"

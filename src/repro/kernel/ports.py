@@ -50,6 +50,11 @@ class Port:
     def alive(self) -> bool:
         return not self.dead and (self.node is None or self.node.alive)
 
+    @property
+    def queued(self) -> int:
+        """Messages delivered but not yet received (diagnostic)."""
+        return len(self._queue)
+
     def send(self, message: Message, charged: bool = True) -> None:
         """Send asynchronously; delivery after the message's primitive time.
 

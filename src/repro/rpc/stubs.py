@@ -80,8 +80,10 @@ def call(network: Network, client: Node, ref: ServiceRef, op: str,
         ctx.meter.record_cpu("CM", ctx.cpu_costs.cm_session_msg)
 
     yield Timeout(ctx.engine, total_ms / 2)  # request transport + dispatch
-    if not local and not network.is_up(ref.node_name):
-        raise SessionBroken(f"node {ref.node_name!r} went down mid-call")
+    if not local and not network.reachable(client.name, ref.node_name):
+        raise SessionBroken(
+            f"node {ref.node_name!r} became unreachable mid-call "
+            "(crashed or partitioned away)")
     reply_port = Port(ctx, node=client, name=f"rpc-reply:{op}")
     ref.port.send(Message(op=op, body=dict(body or {}),
                           reply_to=reply_port, tid=tid,

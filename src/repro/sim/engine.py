@@ -70,6 +70,28 @@ class Engine:
         finally:
             self._running = False
 
+    def drain(self, max_ms: float) -> bool:
+        """Run until the queue empties, giving up ``max_ms`` from now.
+
+        The bounded form of :meth:`run` for driving a simulation to
+        quiescence when some process may never stop (a retry loop waiting
+        on a node that never recovers, say): returns True when the queue
+        went quiet -- the clock then rests at the last event, not at the
+        deadline -- and False when work remained at the deadline.
+        """
+        if max_ms < 0:
+            raise SimulationError(f"cannot drain for negative time ({max_ms})")
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant drain())")
+        deadline = self._now + max_ms
+        self._running = True
+        try:
+            while self._heap and self._heap[0][0] <= deadline:
+                self.step()
+            return not self._heap
+        finally:
+            self._running = False
+
     def run_until(self, event: "object") -> object:
         """Run until ``event`` has been processed; return its value.
 

@@ -8,10 +8,17 @@ storage.  All objects on a node share one common log.
 
 - :mod:`repro.wal.records` -- the record types (value undo/redo, operation,
   transaction management, checkpoint),
+- :mod:`repro.wal.codec` -- the binary wire format for records,
 - :mod:`repro.wal.store` -- the append-only non-volatile record store,
 - :mod:`repro.wal.log` -- the buffered write-ahead log with force semantics.
 """
 
+from repro.wal.codec import (
+    decode_record,
+    decode_records,
+    encode_record,
+    encode_records,
+)
 from repro.wal.log import WriteAheadLog
 from repro.wal.records import (
     CheckpointRecord,
@@ -30,4 +37,5 @@ __all__ = [
     "WriteAheadLog", "LogStore", "LogRecord", "RecordKind",
     "ValueUpdateRecord", "OperationRecord", "TransactionStatusRecord",
     "CheckpointRecord", "PageDirtyRecord", "ServerPrepareRecord", "TxnStatus",
+    "encode_record", "decode_record", "encode_records", "decode_records",
 ]

@@ -26,6 +26,10 @@ class LogStore:
         self._records: list[LogRecord] = []
         #: LSNs below this have been reclaimed
         self.truncated_before = 1
+        #: called with each record at the instant it becomes durable;
+        #: used by auditing harnesses that must see records even after
+        #: truncation reclaims them (e.g. :mod:`repro.recovery.audit`)
+        self.observers: list = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -49,6 +53,8 @@ class LogStore:
                 raise WriteAheadLogError(
                     f"append out of order: lsn {record.lsn} after {self.last_lsn}")
             self._records.append(record)
+            for observer in self.observers:
+                observer(record)
 
     def read_forward(self, from_lsn: int = 1) -> list[LogRecord]:
         """All durable records with ``lsn >= from_lsn``, oldest first."""

@@ -1,0 +1,55 @@
+"""Shared driver for the chaos torture scenarios.
+
+Every scenario follows the same shape: build a cluster, install a fault
+plan, fire a seeded randomized workload into it, repair + quiesce, then
+audit the transaction guarantees.  The scenarios differ only in the plan
+and the seed -- which is the point: the invariants must hold under *any*
+fault schedule.
+"""
+
+from dataclasses import dataclass
+
+from repro.chaos import ChaosController, ChaosWorkload, FaultPlan
+from repro.chaos.workload import build_cluster
+
+
+@dataclass
+class ScenarioRun:
+    cluster: object
+    controller: ChaosController
+    workload: ChaosWorkload
+    report: object
+    quiet: bool
+
+    def assert_clean(self) -> None:
+        __tracebackhide__ = True
+        assert self.quiet, "simulation failed to quiesce after repair"
+        assert self.report.ok, "invariant violations:\n" + "\n".join(
+            f"  {violation}" for violation in self.report.violations)
+
+    def trace_kinds(self) -> set:
+        return {entry[1] for entry in self.controller.trace}
+
+    def events(self, kind: str) -> list:
+        return [entry for entry in self.controller.trace
+                if entry[1] == kind]
+
+
+def run_scenario(plan: FaultPlan, seed: int, node_count: int = 3,
+                 with_queue: bool = False, transfers: int = 12,
+                 enqueues: int = 0, run_ms: float = 6_000.0,
+                 trace_network: bool = False,
+                 spacing_ms: float = 120.0) -> ScenarioRun:
+    """Build, torture, repair, audit.  Deterministic in ``(plan, seed)``."""
+    cluster = build_cluster(node_count, with_queue=with_queue, seed=seed)
+    controller = ChaosController(cluster, plan, seed=seed,
+                                 trace_network=trace_network)
+    workload = ChaosWorkload(cluster, controller, seed=seed)
+    workload.setup()
+    controller.install()
+    workload.schedule_traffic(transfers=transfers, enqueues=enqueues,
+                              spacing_ms=spacing_ms)
+    workload.run(run_ms)
+    quiet = workload.finale()
+    report = workload.check_invariants(quiet=quiet)
+    return ScenarioRun(cluster, controller, workload, report, quiet)

@@ -1,0 +1,38 @@
+"""The slow soak: many seeds, random fault schedules, full audits.
+
+Run explicitly with ``pytest -m slow tests/chaos`` (excluded from the
+default CI lane).  Every seed is an independent torture run; a failure
+message names the seed, which reproduces the run exactly.
+"""
+
+import pytest
+
+from repro.chaos import random_plan
+from tests.chaos.conftest import run_scenario
+
+NODES = ["n0", "n1", "n2"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(40, 52))
+def test_soak_random_faults(seed):
+    plan = random_plan(seed=seed, nodes=NODES, duration_ms=8_000.0,
+                       episodes=5)
+    run = run_scenario(plan, seed=seed, transfers=24, enqueues=6,
+                       with_queue=True, run_ms=10_000.0)
+    assert run.quiet, f"seed {seed}: no quiescence after repair"
+    assert run.report.ok, f"seed {seed} violations:\n" + "\n".join(
+        f"  {violation}" for violation in run.report.violations)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [60, 61, 62])
+def test_soak_bigger_cluster(seed):
+    nodes = [f"n{i}" for i in range(5)]
+    plan = random_plan(seed=seed, nodes=nodes, duration_ms=8_000.0,
+                       episodes=6)
+    run = run_scenario(plan, seed=seed, node_count=5, transfers=30,
+                       run_ms=10_000.0)
+    assert run.quiet and run.report.ok, (
+        f"seed {seed} violations:\n" + "\n".join(
+            f"  {v}" for v in run.report.violations))

@@ -47,12 +47,25 @@ class TestNetwork:
         with pytest.raises(CommunicationError):
             Network(ctx, datagram_loss_rate=1.5)
 
-    def test_datagram_to_down_node_is_dropped(self, ctx):
+    def test_datagram_to_down_node_counts_undeliverable_not_lost(self, ctx):
+        """A datagram that reaches a crashed node is *undeliverable*: the
+        wire worked, the endpoint did not.  It must not pollute the
+        injected-loss statistics."""
         network, nodes, _ = make_pair(ctx)
         nodes["b"].crash()
         network.deliver_datagram("b", Message(op="x"), latency_ms=1.0)
         ctx.engine.run()
-        assert network.datagrams_lost == 1
+        assert network.datagrams_undeliverable == 1
+        assert network.datagrams_lost == 0
+
+    def test_crash_in_flight_counts_undeliverable(self, ctx):
+        """The target goes down while the datagram is on the wire."""
+        network, nodes, _ = make_pair(ctx)
+        network.deliver_datagram("b", Message(op="x"), latency_ms=5.0)
+        ctx.engine.schedule(1.0, nodes["b"].crash)
+        ctx.engine.run()
+        assert network.datagrams_undeliverable == 1
+        assert network.datagrams_lost == 0
 
     def test_datagram_loss_injection(self, ctx):
         network, _, managers = make_pair(ctx)
@@ -62,6 +75,110 @@ class TestNetwork:
             network.deliver_datagram("b", Message(op="x"), latency_ms=0.0)
         ctx.engine.run()
         assert network.datagrams_lost == 20
+        assert network.datagrams_undeliverable == 0
+
+
+class TestPartitions:
+    def make_triple(self, ctx):
+        network = Network(ctx)
+        nodes, managers = {}, {}
+        for name in ("a", "b", "c"):
+            node = Node(ctx, name)
+            managers[name] = CommunicationManager(node, network)
+            nodes[name] = node
+        return network, nodes, managers
+
+    def test_partition_blocks_cross_group_datagrams(self, ctx):
+        network, _, _ = self.make_triple(ctx)
+        network.partition([["a"], ["b", "c"]])
+        network.deliver_datagram("b", Message(op="x", sender_node="a"), 1.0)
+        network.deliver_datagram("c", Message(op="x", sender_node="b"), 1.0)
+        ctx.engine.run()
+        assert network.datagrams_blocked == 1  # a->b blocked, b->c fine
+
+    def test_unlisted_nodes_get_singleton_groups(self, ctx):
+        network, _, _ = self.make_triple(ctx)
+        network.partition([["a", "b"]])  # c isolated implicitly
+        assert network.reachable("a", "b")
+        assert not network.reachable("a", "c")
+        assert not network.reachable("c", "b")
+
+    def test_heal_restores_reachability(self, ctx):
+        network, _, _ = self.make_triple(ctx)
+        network.partition([["a"], ["b"]])
+        assert not network.reachable("a", "b")
+        network.heal()
+        assert network.reachable("a", "b")
+        network.deliver_datagram("b", Message(op="x", sender_node="a"), 1.0)
+        ctx.engine.run()
+        assert network.datagrams_blocked == 0
+
+    def test_node_in_two_groups_rejected(self, ctx):
+        network, _, _ = self.make_triple(ctx)
+        with pytest.raises(CommunicationError):
+            network.partition([["a", "b"], ["b", "c"]])
+
+    def test_session_breaks_across_partition(self, ctx):
+        network, _, _ = self.make_triple(ctx)
+        session = Session(network, "a", "b")
+        network.partition([["a"], ["b"]])
+        with pytest.raises(SessionBroken):
+            session.check()
+        # The break is permanent: at-most-once state cannot be trusted.
+        network.heal()
+        assert session.broken
+
+
+class TestLinkFaults:
+    def test_link_loss_window(self, ctx):
+        network, _, _ = make_pair(ctx)
+        network.set_link_fault("a", "b", loss=1.0, until=10.0)
+        for _ in range(5):
+            network.deliver_datagram("b", Message(op="x", sender_node="a"),
+                                     1.0)
+        ctx.engine.run()
+        assert network.datagrams_lost == 5
+        # Window over: the fault expires lazily at the next send.
+        ctx.engine.schedule(20.0, lambda: None)
+        ctx.engine.run()
+        network.deliver_datagram("b", Message(op="x", sender_node="a"), 1.0)
+        ctx.engine.run()
+        assert network.datagrams_lost == 5
+
+    def test_link_duplication_delivers_twice(self, ctx):
+        network, nodes, _ = make_pair(ctx)
+        target_port = nodes["b"].create_port("svc")
+        nodes["b"].register_service("transaction_manager", target_port)
+        network.set_link_fault("a", "b", duplicate=1.0)
+        network.deliver_datagram(
+            "b", Message(op="tm.x", body={}, sender_node="a"), 1.0)
+        ctx.engine.run()
+        assert network.datagrams_duplicated == 1
+        assert len(target_port._queue) + target_port.dropped >= 0  # delivered
+        # Both copies were handed to the manager (spawned inbound procs).
+        assert network.datagrams_sent == 1
+
+    def test_link_reordering_delays_datagram(self, ctx):
+        """A reordered datagram arrives after one sent later."""
+        network, nodes, _ = make_pair(ctx)
+        arrivals = []
+        network.trace_hook = (
+            lambda t, ev, src, dst, op: arrivals.append((t, ev, op))
+            if ev == "recv" else None)
+        network.set_link_fault("a", "b", reorder=1.0, reorder_delay_ms=40.0)
+        network.deliver_datagram("b", Message(op="first", sender_node="a"),
+                                 1.0)
+        network.clear_link_fault("a", "b")
+        network.deliver_datagram("b", Message(op="second", sender_node="a"),
+                                 1.0)
+        ctx.engine.run()
+        assert network.datagrams_reordered == 1
+        assert [op for _, _, op in arrivals] == ["second", "first"]
+
+    def test_bad_link_rate_rejected(self, ctx):
+        network, _, _ = make_pair(ctx)
+        with pytest.raises(CommunicationError):
+            network.set_link_fault("a", "b", loss=1.5)
 
 
 class TestSessions:

@@ -78,6 +78,81 @@ def test_callbacks_can_schedule_more_work():
     assert engine.now == 4.0
 
 
+def test_schedule_now_is_fifo_among_itself():
+    engine = Engine()
+    seen = []
+    for i in range(5):
+        engine.schedule_now(lambda i=i: seen.append(i))
+    engine.run()
+    assert seen == list(range(5))
+
+
+def test_callback_scheduling_zero_delay_runs_after_same_time_peers():
+    """A zero-delay event created *during* time t runs at t, but after the
+    events already queued for t -- the FIFO rule chaos replay relies on."""
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append("first")
+        engine.schedule(0.0, lambda: seen.append("child"))
+
+    engine.schedule(1.0, first)
+    engine.schedule(1.0, lambda: seen.append("second"))
+    engine.run()
+    assert seen == ["first", "second", "child"]
+
+
+def test_reentrant_run_rejected():
+    """run() from inside a callback must fail loudly, not corrupt time."""
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as error:
+            errors.append(error)
+
+    engine.schedule(1.0, reenter)
+    engine.run()
+    assert len(errors) == 1
+
+
+def test_interleaved_delays_keep_global_order():
+    engine = Engine()
+    seen = []
+    for delay in (3.0, 1.0, 2.0, 1.0, 3.0):
+        engine.schedule(delay, lambda d=delay: seen.append(d))
+    engine.run()
+    assert seen == [1.0, 1.0, 2.0, 3.0, 3.0]
+    assert engine.now == 3.0
+
+
+def test_drain_reports_quiescence():
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    assert engine.drain(10.0) is True
+    assert engine.now == 5.0  # clock rests at the last event
+
+
+def test_drain_gives_up_at_deadline():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1.0, forever)
+
+    engine.schedule(1.0, forever)
+    assert engine.drain(50.0) is False
+    assert engine.pending_count() == 1
+
+
+def test_drain_negative_budget_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.drain(-1.0)
+
+
 def test_step_returns_false_when_idle():
     engine = Engine()
     assert engine.step() is False
