@@ -21,7 +21,6 @@ import pytest
 from benchmarks.conftest import write_result
 from repro.core.cluster import TabsCluster
 from repro.core.config import TabsConfig
-from repro.errors import LockTimeout
 from repro.locking.deadlock import DeadlockDetector
 from repro.servers.int_array import IntegerArrayServer
 from repro.servers.op_array import OperationArrayServer

@@ -1,0 +1,127 @@
+"""Failure-detection latency versus probe interval.
+
+The heartbeat detector (:mod:`repro.comm.failures`) guarantees a peer
+crash is noticed within ``suspicion_timeout + 2 * probe_interval``: a
+full unheard window, plus the tick that notices it, plus one tick of
+scheduling granularity.  This benchmark measures the latency actually
+achieved across crash phases, and the false-suspicion cost of running
+the same detector through lossy links (false suspicions are safe -- they
+can only abort, never wrongly commit -- but each one aborts every
+transaction spanning the suspected node).
+
+Two tables:
+
+1. **Detection latency versus probe interval** -- a three-node cluster,
+   one node crashed at eight different phases within a probe period,
+   suspicion timeout held at six probe intervals (the default ratio,
+   1500 ms / 250 ms).
+2. **False suspicions versus partition duration** -- heartbeat probes
+   are deliberately exempt from injected per-link datagram faults (they
+   consume no seeded rolls and cannot be randomly lost), so loss alone
+   never triggers a suspicion; the only sources of false suspicion are
+   partitions that heal.  A transient partition shorter than the
+   suspicion timeout goes unnoticed; a longer one is suspected, then
+   retracted when the first post-heal probe arrives.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig
+
+#: default ratio of suspicion timeout to probe interval (1500 / 250)
+TIMEOUT_RATIO = 6
+PROBE_INTERVALS_MS = (50.0, 100.0, 250.0, 500.0, 1000.0)
+CRASH_PHASES = 8
+CRASH_BASE_MS = 5_000.0
+
+
+def build_cluster(probe_interval_ms: float, suspicion_timeout_ms: float,
+                  seed: int = 0) -> tuple[TabsCluster, list]:
+    cluster = TabsCluster(TabsConfig(
+        seed=seed,
+        probe_interval_ms=probe_interval_ms,
+        suspicion_timeout_ms=suspicion_timeout_ms))
+    events: list = []
+    for name in ("n0", "n1", "n2"):
+        node = cluster.add_node(name)
+        node.fd_observers.append(
+            lambda t, local, event, peer: events.append(
+                (t, local, event, peer)))
+    cluster.start()
+    return cluster, events
+
+
+def measure_detection(probe_interval_ms: float, crash_at_ms: float) -> float:
+    """Crash n2, return the worst peer's detection latency (ms)."""
+    suspicion = TIMEOUT_RATIO * probe_interval_ms
+    cluster, events = build_cluster(probe_interval_ms, suspicion)
+    cluster.engine.run(until=crash_at_ms)
+    cluster.crash_node("n2")
+    bound = suspicion + 2 * probe_interval_ms
+    cluster.engine.run(until=crash_at_ms + bound + probe_interval_ms)
+    detected = {local: t for t, local, event, peer in events
+                if event == "suspect" and peer == "n2"}
+    assert set(detected) == {"n0", "n1"}, \
+        f"peers failed to detect the crash: {sorted(detected)}"
+    return max(t - crash_at_ms for t in detected.values())
+
+
+@pytest.mark.slow
+def test_detection_latency_vs_probe_interval():
+    lines = [
+        "Failure-detection latency versus probe interval",
+        "(3 nodes; n2 crashed at 8 phases within one probe period;",
+        " suspicion timeout = 6 x probe interval, the default ratio)",
+        "",
+        f"{'probe (ms)':>10} {'suspicion (ms)':>14} {'bound (ms)':>10} "
+        f"{'min (ms)':>9} {'mean (ms)':>9} {'max (ms)':>9}",
+    ]
+    for interval in PROBE_INTERVALS_MS:
+        suspicion = TIMEOUT_RATIO * interval
+        bound = suspicion + 2 * interval
+        latencies = []
+        for phase in range(CRASH_PHASES):
+            crash_at = CRASH_BASE_MS + phase * interval / CRASH_PHASES
+            latency = measure_detection(interval, crash_at)
+            assert latency <= bound, (
+                f"latency {latency:.1f} ms exceeds the documented bound "
+                f"{bound:.1f} ms at interval {interval} ms")
+            latencies.append(latency)
+        lines.append(
+            f"{interval:>10.0f} {suspicion:>14.0f} {bound:>10.0f} "
+            f"{min(latencies):>9.1f} "
+            f"{sum(latencies) / len(latencies):>9.1f} "
+            f"{max(latencies):>9.1f}")
+    write_result("failure_detection_latency.txt", "\n".join(lines))
+
+
+@pytest.mark.slow
+def test_false_suspicions_vs_partition_duration():
+    lines = [
+        "False suspicions versus transient-partition duration",
+        "(3 nodes, no crashes; {n0} | {n1, n2} partitioned at t=5 s for",
+        " the given duration, then healed; default detector: probe",
+        " 250 ms, suspicion 1500 ms.  Four directed pairs cross the cut,",
+        " so a noticed partition yields 4 suspicions, each retracted by",
+        " the first post-heal probe)",
+        "",
+        f"{'partition (ms)':>14} {'false suspicions':>16} "
+        f"{'retracted':>9}",
+    ]
+    for duration in (500.0, 1_000.0, 1_500.0, 2_000.0, 3_000.0, 5_000.0):
+        cluster, events = build_cluster(250.0, 1_500.0, seed=7)
+        cluster.engine.run(until=5_000.0)
+        cluster.partition(["n0"], ["n1", "n2"])
+        cluster.engine.run(until=5_000.0 + duration)
+        cluster.heal_partition()
+        cluster.engine.run(until=5_000.0 + duration + 10_000.0)
+        false = sum(1 for _, _, event, _ in events if event == "suspect")
+        recovered = sum(1 for _, _, event, _ in events
+                        if event == "recovered")
+        assert false == recovered, \
+            "every partition-induced suspicion must be retracted"
+        assert cluster.meter.counter("false_suspicions") == false
+        lines.append(f"{duration:>14.0f} {false:>16d} {recovered:>9d}")
+    write_result("failure_detection_partitions.txt", "\n".join(lines))

@@ -10,8 +10,6 @@ against the total implied by our protocol, and the elapsed-time agreement
 in Table 5-4 is the fidelity check for the parallel part.
 """
 
-import pytest
-
 from benchmarks.conftest import write_result
 from repro.kernel.costs import Primitive
 from repro.perf.report import render_table_5_3

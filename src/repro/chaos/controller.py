@@ -51,6 +51,9 @@ class ChaosController:
             self.status_history[name] = {}
             tabs_node.log_store.observers.append(
                 lambda record, node=name: self._observe(node, record))
+            # The observer list survives rebuilds, so detections keep
+            # landing in the trace across crash/recovery cycles.
+            tabs_node.fd_observers.append(self._detector_event)
 
     # -- trace -------------------------------------------------------------------
 
@@ -67,6 +70,10 @@ class ChaosController:
     def _node_restarted(self, node) -> None:
         self.trace.append((self.engine.now, "restart", node.name,
                            node.epoch))
+
+    def _detector_event(self, time_ms: float, local: str, event: str,
+                        peer: str) -> None:
+        self.trace.append((time_ms, "fd", local, event, peer))
 
     def _observe(self, node: str, record) -> None:
         if (isinstance(record, TransactionStatusRecord)
@@ -138,12 +145,17 @@ class ChaosController:
                                  lambda: self._spawn_restart(name))
 
     def _spawn_restart(self, name: str) -> Process | None:
-        """Restart + full crash recovery as a background process."""
+        """Power the node on; its RecoverySupervisor drives the recovery.
+
+        Thin wrapper by design: the controller no longer runs recovery
+        itself, it just flips the power switch and hands back the
+        supervisor's self-healing process.
+        """
         tabs_node = self.cluster.node(name)
         if tabs_node.node.alive:
             return None
-        return Process(self.engine, tabs_node.restart_generator(),
-                       name=f"chaos:restart:{name}")
+        tabs_node.node.restart()
+        return tabs_node.supervisor.recovery_process
 
     def _partition(self, action: PartitionAt) -> None:
         self.network.partition(action.groups)

@@ -15,7 +15,7 @@ protocol window) or randomly via :func:`random_plan` (the soak test).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

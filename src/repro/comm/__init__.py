@@ -13,8 +13,10 @@ during two-phase commit, and it detects permanent communication failures,
 aiding in the detection of remote node crashes.
 """
 
+from repro.comm.failures import FailureDetector
 from repro.comm.manager import CommunicationManager
 from repro.comm.network import Network
-from repro.comm.sessions import Session
+from repro.comm.sessions import Session, SessionTable
 
-__all__ = ["Network", "CommunicationManager", "Session"]
+__all__ = ["Network", "CommunicationManager", "Session", "SessionTable",
+           "FailureDetector"]

@@ -53,6 +53,9 @@ class SpanningRecord:
     #: notices already sent to the local Transaction Manager
     tm_told_arrival: bool = False
     tm_told_remote_sites: bool = False
+    #: peers whose failure has already been reported to the TM for this
+    #: transaction (re-armed if a suspicion turns out to be false)
+    failure_told: set[str] = field(default_factory=set)
 
 
 class CommunicationManager:
@@ -67,6 +70,8 @@ class CommunicationManager:
         network.register(node, self)
         self.sessions = SessionTable(network, node.name)
         self._trees: dict[TransactionID, SpanningRecord] = {}
+        #: attached by the facility layer when failure detection is enabled
+        self.failure_detector = None
         node.spawn(self._loop(), name="communication-manager", defused=True)
 
     # -- request loop -------------------------------------------------------
@@ -126,6 +131,13 @@ class CommunicationManager:
     def deliver_inbound_datagram(self, message: Message) -> None:
         """Called by the network when a datagram arrives for this node."""
         if not self.node.alive:  # pragma: no cover - network already checks
+            return
+        if message.body.get("service") == "failure_detector":
+            # Probes are handled synchronously and uncharged: no spawned
+            # process, no ports, no CPU -- heartbeats must neither perturb
+            # the cost model nor keep the engine from quiescing.
+            if self.failure_detector is not None:
+                self.failure_detector.on_datagram(message)
             return
         self.node.spawn(self._forward_inbound(message),
                         name="cm:inbound", defused=True)
@@ -190,6 +202,44 @@ class CommunicationManager:
             return self.node.service("transaction_manager")
         except Exception:  # pragma: no cover - TM always up in practice
             return None
+
+    # -- failure notifications (called by the failure detector) ----------------
+
+    def peer_failed(self, peer: str) -> None:
+        """A peer is suspected dead: break its session, tell the TM.
+
+        Section 3.2: the Communication Manager reports node failures so the
+        Transaction Manager can promptly abort the transactions spanning the
+        failed site instead of stalling until vote/ack timeouts.
+        """
+        self.sessions.break_to(peer)
+        self._notify_tm_peer_failed(peer, "failed")
+
+    def peer_restarted(self, peer: str) -> None:
+        """A peer restarted (epoch bump): old incarnation's work is gone."""
+        self.sessions.break_to(peer)
+        self._notify_tm_peer_failed(peer, "restarted")
+
+    def peer_recovered(self, peer: str) -> None:
+        """A suspicion proved false: re-arm future failure notifications."""
+        for record in self._trees.values():
+            record.failure_told.discard(peer)
+
+    def _notify_tm_peer_failed(self, peer: str, event: str) -> None:
+        tm_port = self._tm_port()
+        if tm_port is None:  # pragma: no cover - TM always up in practice
+            return
+        for key, record in self._trees.items():
+            if peer != record.parent and peer not in record.children:
+                continue
+            if peer in record.failure_told:
+                continue  # this family was already told about this peer
+            record.failure_told.add(peer)
+            tm_port.send(Message(
+                op="tm.peer_failed", tid=key,
+                body={"tid": key, "peer": peer, "event": event,
+                      "parent": record.parent,
+                      "children": sorted(record.children)}))
 
     def spanning_record(self, tid: TransactionID) -> SpanningRecord:
         """Direct (uncharged) read for recovery and tests."""

@@ -80,6 +80,13 @@ class Network:
         #: "dup", "reorder".
         self.trace_hook: Callable[[float, str, str, str, str], None] | None \
             = None
+        #: session identifiers, scoped to this network so two cluster runs
+        #: in one process produce identical ids (trace reproducibility)
+        self._session_seq = 0
+
+    def next_session_id(self) -> int:
+        self._session_seq += 1
+        return self._session_seq
 
     # -- registry ---------------------------------------------------------------
 
@@ -218,12 +225,17 @@ class Network:
     # -- datagram transport -----------------------------------------------------
 
     def deliver_datagram(self, target: str, message: Message,
-                         latency_ms: float, source: str = "") -> None:
+                         latency_ms: float, source: str = "",
+                         daemon: bool = False) -> None:
         """Queue a datagram for delivery to ``target``'s Communication
         Manager after ``latency_ms``.  Silently dropped when a partition
         blocks the link, the loss roll fails, or the target is down at
         delivery time -- datagram semantics.  Each category has its own
         counter so failure tests can tell the drop modes apart.
+
+        ``daemon`` marks background housekeeping traffic (failure-detector
+        probes): its in-flight delivery never keeps the engine from
+        quiescing.
         """
         source = source or message.sender_node or ""
         self.datagrams_sent += 1
@@ -231,6 +243,16 @@ class Network:
         if self._partition_blocks(source, target):
             self.datagrams_blocked += 1
             self._trace("blocked", source, target, message.op)
+            return
+        if daemon:
+            # Background housekeeping traffic (heartbeat probes) is exempt
+            # from the *injected* datagram faults: it consumes no seeded
+            # rolls (so enabling detection never shifts the RNG stream of a
+            # fault plan) and cannot be randomly lost -- only partitions
+            # and crashed endpoints silence it, which are exactly the
+            # failures detection must catch.
+            self.ctx.engine.schedule(latency_ms, self._arrival(
+                target, message, source), daemon=True)
             return
         if (self.datagram_loss_rate and
                 self.ctx.random.random() < self.datagram_loss_rate):
@@ -255,6 +277,14 @@ class Network:
                 self.datagrams_reordered += 1
                 self._trace("reorder", source, target, message.op)
 
+        arrive = self._arrival(target, message, source)
+        for copy in range(copies):
+            # A duplicate trails the original slightly, as a retransmitted
+            # or doubly-routed packet would.
+            self.ctx.engine.schedule(latency_ms * (1 + copy), arrive)
+
+    def _arrival(self, target: str, message: Message,
+                 source: str) -> Callable[[], None]:
         def arrive() -> None:
             if not self.is_up(target):
                 self.datagrams_undeliverable += 1
@@ -262,11 +292,7 @@ class Network:
                 return
             self._trace("recv", source, target, message.op)
             self._managers[target].deliver_inbound_datagram(message)
-
-        for copy in range(copies):
-            # A duplicate trails the original slightly, as a retransmitted
-            # or doubly-routed packet would.
-            self.ctx.engine.schedule(latency_ms * (1 + copy), arrive)
+        return arrive
 
     def broadcast_datagram(self, source: str, message_factory:
                            Callable[[str], Message],

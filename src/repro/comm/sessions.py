@@ -15,12 +15,8 @@ commit protocol uses datagrams instead.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.errors import SessionBroken
 from repro.comm.network import Network
-
-_session_ids = itertools.count(1)
 
 
 class Session:
@@ -30,7 +26,9 @@ class Session:
         self.network = network
         self.local = local
         self.remote = remote
-        self.session_id = next(_session_ids)
+        # Ids come from the network, not a module global, so two cluster
+        # runs in one process number their sessions identically.
+        self.session_id = network.next_session_id()
         if not network.reachable(local, remote):
             raise SessionBroken(
                 f"cannot establish session {local} -> {remote}: "
@@ -80,6 +78,17 @@ class SessionTable:
             session = Session(self.network, self.local, remote)
             self._sessions[remote] = session
         return session
+
+    def break_to(self, remote: str) -> None:
+        """Proactively break any session to ``remote`` (failure detected).
+
+        The failure detector calls this the moment it declares a peer dead
+        or observes it restarted, instead of letting the next use discover
+        the break lazily.
+        """
+        session = self._sessions.get(remote)
+        if session is not None:
+            session.broken = True
 
     def active_peers(self) -> list[str]:
         return [remote for remote, session in self._sessions.items()

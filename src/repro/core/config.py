@@ -34,6 +34,12 @@ class TabsConfig:
     log_buffer_records: int = 512
     lock_timeout_ms: float = 10_000.0
     datagram_loss_rate: float = 0.0
+    #: proactive failure detection (Section 3.2: the Communication Manager
+    #: reports node failures).  Probes are uncharged background daemons, so
+    #: enabling this does not perturb the paper's cost accounting.
+    failure_detection: bool = True
+    probe_interval_ms: float = 250.0
+    suspicion_timeout_ms: float = 1500.0
     #: TM-driven checkpoint cadence (Section 3.2.2), in commits; None = off
     checkpoint_every_commits: int | None = None
     seed: int = 1985

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.comm.failures import FailureDetector
 from repro.comm.manager import CommunicationManager
 from repro.comm.network import Network
 from repro.errors import TabsError
@@ -25,6 +26,7 @@ from repro.recovery.manager import (
     RecoveryManagerClient,
     RmPagerClient,
 )
+from repro.recovery.supervisor import RecoverySupervisor
 from repro.txn.manager import TransactionManager
 from repro.wal.store import LogStore
 
@@ -55,7 +57,13 @@ class TabsNode:
         self._segment_vas: dict[str, int] = {}
         self.node: Node | None = None
         self.last_recovery: RecoveryReport | None = None
+        #: failure-detector observers; the list survives rebuilds so chaos
+        #: tracing hooks keep observing across crash/recovery cycles
+        self.fd_observers: list = []
+        self._pending_media_restore: list[str] | None = None
         self._build()
+        #: self-healing: recovery now runs off Node.on_restart, unattended
+        self.supervisor = RecoverySupervisor(self)
 
     # -- construction -------------------------------------------------------------
 
@@ -64,12 +72,22 @@ class TabsNode:
             self.node = Node(self.ctx, self.name,
                              vm_capacity_pages=self.config.vm_capacity_pages)
         self.cm = CommunicationManager(self.node, self.network)
+        if self.config.failure_detection:
+            self.cm.failure_detector = FailureDetector(
+                self.cm,
+                probe_interval_ms=self.config.probe_interval_ms,
+                suspicion_timeout_ms=self.config.suspicion_timeout_ms,
+                observers=self.fd_observers)
         self.ns = NameServer(self.node, self.network)
         self.rm = RecoveryManager(self.node, store=self.log_store,
                                   buffer_capacity=self.config
                                   .log_buffer_records)
         self.tm = TransactionManager(self.node,
                                      RecoveryManagerClient(self.node))
+        # Inbound protocol traffic (a peer's prompt abort, an outcome
+        # query) must not race the log replay below; the gate opens at
+        # the end of setup_generator once the node is consistent.
+        self.tm.hold_messages_until_recovered()
         self.tm.checkpoint_every_commits = \
             self.config.checkpoint_every_commits
         self.node.vm.pager_client = RmPagerClient(self.node)
@@ -128,6 +146,7 @@ class TabsNode:
             yield from server.on_recovered()
         for server in self.servers.values():
             server.start()
+        self.tm.recovery_complete()
         return report
 
     # -- failure model -----------------------------------------------------------------
@@ -139,8 +158,25 @@ class TabsNode:
         self.servers = {}
 
     def restart_generator(self, media_restore_segments: list[str] | None = None):
-        """Restart + crash recovery (generator).  Run it on the engine."""
+        """Restart + crash recovery (generator).  Run it on the engine.
+
+        Thin wrapper: powering the node on fires the
+        :class:`RecoverySupervisor`, which drives the recovery itself;
+        this generator merely awaits that process and returns its report.
+        """
+        self._pending_media_restore = media_restore_segments
         self.node.restart()
+        report = yield self.supervisor.recovery_process
+        return report
+
+    def recovery_generator(self):
+        """Rebuild the system processes and run crash recovery (generator).
+
+        Spawned by the :class:`RecoverySupervisor` the moment the kernel
+        node restarts; assumes the node itself is already powered on.
+        """
+        media_restore_segments = self._pending_media_restore
+        self._pending_media_restore = None
         self._build()
         if not self.archive.empty:
             self.rm.media_retention_lsn = self.archive.archive_lsn + 1

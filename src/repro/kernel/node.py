@@ -66,6 +66,17 @@ class Node:
     def register_port(self, port: Port) -> None:
         self._ports.append(port)
 
+    def release_port(self, port: Port) -> None:
+        """Drop a destroyed port from the node's port table.
+
+        Short-lived reply ports (RPC) deallocate themselves this way so the
+        table does not grow with every timed-out call.
+        """
+        try:
+            self._ports.remove(port)
+        except ValueError:
+            pass
+
     def register_service(self, name: str, port: Port) -> None:
         """Publish a well-known local service port (TM, RM, CM, NS)."""
         self.services[name] = port
@@ -100,8 +111,10 @@ class Node:
     def restart(self) -> None:
         """Power back on with empty volatile state and a new epoch.
 
-        The caller (the cluster/facility layer) must re-create the TABS
-        system processes and drive crash recovery afterwards.
+        A facility-level node self-heals from here: its
+        ``RecoverySupervisor`` listens on ``on_restart`` and drives the
+        rebuild plus crash recovery itself.  A bare kernel node (no
+        supervisor) still needs its caller to re-create state afterwards.
         """
         if self.alive:
             return

@@ -78,7 +78,7 @@ class NameServer:
         body = message.body
         ref = ServiceRef(node_name=self.node.name, port=body["port"],
                          object_id=body.get("object_id"),
-                         epoch=self.node.epoch)
+                         epoch=self.node.epoch, name=body["name"])
         self._names.setdefault(body["name"], []).append(
             _Registration(body["name"], body.get("type", ""), ref))
         respond(message, {"ok": True})
@@ -114,11 +114,13 @@ class NameServer:
         refs = list(self._local_refs(body["name"]))
         if node_filter:
             refs = [r for r in refs if r.node_name == node_filter]
-            respond(message, {"refs": refs[:wanted]})
-            return
         if len(refs) < wanted:
-            refs.extend((yield from self._broadcast_lookup(
-                body["name"], wanted - len(refs), max_wait_ms)))
+            # The broadcast also serves node-filtered lookups: the name may
+            # live on another node (e.g. re-resolving a stale reference
+            # after the serving node restarted).
+            refs.extend(r for r in (yield from self._broadcast_lookup(
+                body["name"], wanted - len(refs), max_wait_ms))
+                if not node_filter or r.node_name == node_filter)
         respond(message, {"refs": refs[:wanted]})
 
     def _broadcast_lookup(self, name: str, wanted: int,

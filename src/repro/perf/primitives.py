@@ -14,9 +14,7 @@ from __future__ import annotations
 from repro.core.cluster import TabsCluster
 from repro.core.config import TabsConfig
 from repro.kernel.costs import Primitive
-from repro.kernel.disk import PAGE_SIZE
 from repro.kernel.messages import Message, MessageKind
-from repro.kernel.ports import Port
 from repro.servers.base import BaseDataServer
 from repro.txn.ids import TransactionID
 from repro.wal.log import WriteAheadLog

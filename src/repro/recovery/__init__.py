@@ -20,5 +20,7 @@ from repro.recovery.manager import (
     RecoveryManagerClient,
     RmPagerClient,
 )
+from repro.recovery.supervisor import RecoverySupervisor
 
-__all__ = ["RecoveryManager", "RecoveryManagerClient", "RmPagerClient"]
+__all__ = ["RecoveryManager", "RecoveryManagerClient", "RmPagerClient",
+           "RecoverySupervisor"]

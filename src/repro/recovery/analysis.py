@@ -90,9 +90,22 @@ class RecoveryPlan:
             return 0
         bounds = [self.checkpoint.lsn]
         bounds.extend(self.checkpoint.dirty_pages.values())
-        # Transactions active at checkpoint time may have older records;
-        # conservatively rescan from the checkpoint itself, whose dirty-page
-        # map already covers every page they touched.
+        # Transactions in flight at checkpoint time may have stolen pages
+        # whose uncommitted values reached disk (and left the dirty-page
+        # map) before the checkpoint was cut; the backward pass must reach
+        # their oldest records to unwind those values if they lose.
+        active = set(self.checkpoint.active_transactions)
+        for record in self.records:
+            if record.lsn >= self.checkpoint.lsn or not active:
+                break
+            tid = record.tid
+            seen: set = set()
+            while tid is not None and tid not in seen:
+                if tid in active:
+                    bounds.append(record.lsn)
+                    break
+                seen.add(tid)
+                tid = self.merges.get(tid)
         return min(bounds)
 
 

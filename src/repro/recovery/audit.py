@@ -174,6 +174,12 @@ def expected_durable_values(records: list[LogRecord]) -> dict:
         oid = record.oid
         if state.get(oid) == "winner":
             continue
+        if record.compensates_lsn:
+            # An abort's compensation restored this value; mirror the
+            # value pass: apply it and keep unwinding beneath it.
+            expected[oid] = record.new_value
+            state[oid] = "loser"
+            continue
         outcome = plan.resolve(record.tid)
         if outcome.name == "PREPARED":
             undecided_oids.add(oid)

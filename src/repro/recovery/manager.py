@@ -257,6 +257,8 @@ class RecoveryManager:
     def _instruct_undo(self, record: LogRecord):
         """Send one undo instruction to the owning server and await its ack."""
         if isinstance(record, ValueUpdateRecord):
+            if record.compensates_lsn:
+                return  # a compensation record is never itself undone
             op, body = "ds.undo_value", {"oid": record.oid,
                                          "value": record.old_value}
             server = record.server
@@ -275,6 +277,26 @@ class RecoveryManager:
         reply_port = Port(self.ctx, node=self.node, name="rm-undo-reply")
         attachment.port.send(Message(op=op, body=body, reply_to=reply_port))
         response = yield reply_port.receive()
+        if isinstance(record, ValueUpdateRecord):
+            # The undo write bypasses the write-ahead gate, so log the
+            # compensation: without it, a checkpoint taken before this
+            # abort lets recovery's backward scan stop at the checkpoint
+            # bound and resurrect the flushed pre-abort value from disk.
+            clr = ValueUpdateRecord(
+                tid=record.tid, server=record.server, oid=record.oid,
+                old_value=record.new_value, new_value=record.old_value,
+                compensates_lsn=record.lsn)
+            self._append_chained(clr)
+            # Pin the page's recovery LSN back to the original update:
+            # until the undone page reaches non-volatile storage, log
+            # reclamation must keep every record (update, compensation,
+            # ABORTED) a post-crash unwind could need.
+            if record.oid:
+                for page in record.oid.pages():
+                    key = (record.oid.segment_id, page)
+                    if self._page_rec_lsn.get(key, record.lsn + 1) \
+                            > record.lsn:
+                        self._page_rec_lsn[key] = record.lsn
         if isinstance(record, OperationRecord):
             # Log the compensation so recovery never undoes this twice.
             clr = OperationRecord(

@@ -1,0 +1,54 @@
+"""Self-healing node recovery.
+
+Before this module, a crashed node came back only because some external
+driver (the chaos controller, a test) explicitly ran
+``TabsNode.restart_generator()`` to rebuild the system processes and drive
+:func:`repro.recovery.driver.recover_node`.  The
+:class:`RecoverySupervisor` moves that responsibility into the facility
+itself: it hooks ``Node.on_restart`` and, the instant the kernel node
+powers back up, spawns the full recovery sequence (rebuild the four system
+processes, re-create the data servers from their factories, run analysis /
+value / operation passes, restore in-doubt transactions, reach a clean
+point) as a background process on the engine.
+
+External callers -- the chaos controller's restart action,
+``TabsCluster.restart_node`` -- become thin wrappers: they power the node
+on and wait for the supervisor's recovery process to finish.  A bare
+``node.restart()`` with no driver at all now yields a fully recovered
+node, which is what "unattended self-healing" means.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.facility import TabsNode
+
+
+class RecoverySupervisor:
+    """Drives crash recovery automatically whenever its node restarts."""
+
+    def __init__(self, tabs_node: "TabsNode") -> None:
+        self.tabs_node = tabs_node
+        self.ctx = tabs_node.ctx
+        #: recoveries this supervisor has initiated
+        self.self_recoveries = 0
+        #: the in-flight (or most recent) recovery process; it is an Event,
+        #: so callers may yield it to await completion and read the
+        #: RecoveryReport it returns
+        self.recovery_process: Process | None = None
+        tabs_node.node.on_restart.append(self._on_restart)
+
+    def _on_restart(self, node) -> None:
+        # on_restart callbacks must not raise; Process creation only
+        # registers the generator with the engine.
+        self.self_recoveries += 1
+        self.ctx.meter.bump("self_recoveries")
+        process = Process(self.ctx.engine,
+                          self.tabs_node.recovery_generator(),
+                          name=f"recovery-supervisor:{node.name}")
+        process.defused = True
+        self.recovery_process = process

@@ -42,6 +42,14 @@ def run_value_pass(vm: VirtualMemory, plan: RecoveryPlan,
         state = decided.get(record.oid)
         if state == "winner":
             continue
+        if record.compensates_lsn:
+            # An abort's compensation: replay the restored value and keep
+            # scanning, so older losers of other transactions still
+            # unwind beneath it.
+            yield from vm.write_object(record.oid, record.new_value)
+            decided[record.oid] = "loser"
+            vm.set_page_lsn(record.oid, record.lsn)
+            continue
         outcome = plan.resolve(record.tid)
         if outcome.winner:
             # The newest winner value is final -- whether it is the newest

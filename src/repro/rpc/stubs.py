@@ -31,6 +31,14 @@ from repro.txn.ids import TransactionID
 #: unwound by lock time-outs instead).
 DEFAULT_RPC_TIMEOUT_MS = 30_000.0
 
+#: Retry policy for failures that happen *before* the request is handed to
+#: the server (at-most-once: a request that may have been dispatched is
+#: never retried).  Backoff is capped exponential with deterministic jitter
+#: drawn from the cluster's seeded RNG.
+DEFAULT_CALL_RETRIES = 3
+RETRY_BACKOFF_BASE_MS = 50.0
+RETRY_BACKOFF_CAP_MS = 2_000.0
+
 
 @dataclass(frozen=True)
 class ServiceRef:
@@ -46,28 +54,98 @@ class ServiceRef:
     #: epoch of the serving node when the reference was minted; a restarted
     #: server invalidates old references, forcing a fresh lookup.
     epoch: int = field(default=0, compare=False)
+    #: registered name the reference resolved from; lets the RPC layer
+    #: re-resolve a stale reference after the serving node restarts.
+    name: str = field(default="", compare=False)
+
+
+class _Retriable(Exception):
+    """Internal: a call attempt failed before the request was dispatched."""
+
+    def __init__(self, error: Exception, stale_ref: bool = False) -> None:
+        super().__init__(str(error))
+        self.error = error
+        self.stale_ref = stale_ref
 
 
 def call(network: Network, client: Node, ref: ServiceRef, op: str,
          body: dict | None = None, tid: TransactionID | None = None,
-         timeout_ms: float = DEFAULT_RPC_TIMEOUT_MS):
+         timeout_ms: float = DEFAULT_RPC_TIMEOUT_MS,
+         retries: int = DEFAULT_CALL_RETRIES):
     """Invoke ``op`` on the object named by ``ref`` (generator).
 
     Returns the response body (a dict).  Raises :class:`SessionBroken` when
     a remote target is unreachable or fails to respond, and re-raises any
     exception the server marshalled into its response.
+
+    Failures that occur *before* the request reaches the server -- session
+    establishment, a stale reference after a peer restart, unreachability
+    detected pre-dispatch -- are retried up to ``retries`` times with
+    capped exponential backoff and deterministic jitter; a stale reference
+    is re-resolved through the Name Server between attempts.  A timeout
+    after dispatch is never retried: the request may have executed, and
+    the session's at-most-once guarantee must hold.
     """
+    ctx = client.ctx
+    attempt = 0
+    while True:
+        try:
+            result = yield from _call_once(network, client, ref, op, body,
+                                           tid, timeout_ms)
+            return result
+        except _Retriable as failure:
+            attempt += 1
+            if attempt > retries:
+                raise failure.error
+            ctx.meter.bump("rpc_retries")
+            backoff = min(RETRY_BACKOFF_CAP_MS,
+                          RETRY_BACKOFF_BASE_MS * (2 ** (attempt - 1)))
+            # Deterministic jitter: the seeded RNG spreads retriers without
+            # breaking trace reproducibility.
+            backoff *= 0.5 + ctx.random.random()
+            yield Timeout(ctx.engine, backoff)
+            if failure.stale_ref:
+                fresh = yield from _re_resolve(client, ref)
+                if fresh is not None:
+                    ref = fresh
+
+
+def _re_resolve(client: Node, ref: ServiceRef):
+    """A fresh reference for ``ref.name`` after a peer restart (generator).
+
+    Returns None when the reference carries no name or the lookup fails;
+    the caller then retries with the old reference and surfaces the
+    original error when attempts run out.
+    """
+    if not ref.name:
+        return None
+    # Local import: the nameserver library itself depends on ServiceRef.
+    from repro.nameserver.library import NameServerLibrary
+    try:
+        refs = yield from NameServerLibrary(client).lookup(
+            ref.name, node_name=ref.node_name)
+    except Exception:
+        return None
+    return refs[0] if refs else None
+
+
+def _call_once(network: Network, client: Node, ref: ServiceRef, op: str,
+               body: dict | None, tid: TransactionID | None,
+               timeout_ms: float):
     ctx = client.ctx
     local = ref.node_name == client.name
     if local:
         total_ms = ctx.delay_of(Primitive.DATA_SERVER_CALL)
     else:
         cm_local = network.manager(client.name)
-        cm_local.sessions.session_to(ref.node_name).next_sequence()
+        try:
+            cm_local.sessions.session_to(ref.node_name).next_sequence()
+        except SessionBroken as error:
+            raise _Retriable(error) from None
         if network.epoch_of(ref.node_name) != ref.epoch:
-            raise SessionBroken(
+            raise _Retriable(SessionBroken(
                 f"server reference on {ref.node_name!r} is stale: the node "
-                "restarted; look the name up again")
+                "restarted; look the name up again"), stale_ref=True)
         total_ms = ctx.delay_of(Primitive.INTER_NODE_DATA_SERVER_CALL)
         # Both Communication Managers scan the tid (spanning tree) and burn
         # CPU shepherding the session messages.  That CPU is *inside* the
@@ -81,26 +159,35 @@ def call(network: Network, client: Node, ref: ServiceRef, op: str,
 
     yield Timeout(ctx.engine, total_ms / 2)  # request transport + dispatch
     if not local and not network.reachable(client.name, ref.node_name):
-        raise SessionBroken(
+        # Still pre-dispatch: the request never reached the peer, so a
+        # retry cannot double-execute it.
+        raise _Retriable(SessionBroken(
             f"node {ref.node_name!r} became unreachable mid-call "
-            "(crashed or partitioned away)")
+            "(crashed or partitioned away)"))
     reply_port = Port(ctx, node=client, name=f"rpc-reply:{op}")
-    ref.port.send(Message(op=op, body=dict(body or {}),
-                          reply_to=reply_port, tid=tid,
-                          kind=MessageKind.UNCHARGED,
-                          sender_node=client.name),
-                  charged=False)
+    try:
+        ref.port.send(Message(op=op, body=dict(body or {}),
+                              reply_to=reply_port, tid=tid,
+                              kind=MessageKind.UNCHARGED,
+                              sender_node=client.name),
+                      charged=False)
 
-    if local:
-        response = yield reply_port.receive()
-    else:
-        deadline = Timeout(ctx.engine, timeout_ms)
-        which, response = yield AnyOf(ctx.engine,
-                                      [reply_port.receive(), deadline])
-        if which == 1:
-            raise SessionBroken(
-                f"no response from {ref.node_name!r} for {op!r} within "
-                f"{timeout_ms} ms (node crashed?)")
+        if local:
+            response = yield reply_port.receive()
+        else:
+            deadline = Timeout(ctx.engine, timeout_ms)
+            which, response = yield AnyOf(ctx.engine,
+                                          [reply_port.receive(), deadline])
+            if which == 1:
+                raise SessionBroken(
+                    f"no response from {ref.node_name!r} for {op!r} within "
+                    f"{timeout_ms} ms (node crashed?)")
+    finally:
+        # Deallocate whatever the outcome: a dead reply port silently
+        # drops any stale late reply, and releasing it keeps the node's
+        # port table from growing under repeated timeouts.
+        reply_port.destroy()
+        client.release_port(reply_port)
     yield Timeout(ctx.engine, total_ms / 2)  # response transport
 
     if "error" in response.body:

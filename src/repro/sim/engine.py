@@ -2,8 +2,15 @@
 
 Time is a float measured in *milliseconds* to match the units of the paper's
 Table 5-1 primitive-operation times.  The engine keeps a binary heap of
-``(time, sequence, callback)`` entries; the sequence number makes same-time
-ordering deterministic (FIFO in schedule order).
+``(time, sequence, callback, daemon)`` entries; the sequence number makes
+same-time ordering deterministic (FIFO in schedule order).
+
+Daemon entries are background housekeeping -- failure-detector probe ticks,
+mainly -- that must never keep the simulation "busy": ``run()``, ``drain()``
+and ``run_until()`` treat the queue as quiescent once only daemon entries
+remain, exactly as daemon threads do not keep a process alive.  While real
+work is in flight, daemon entries execute normally and interleave
+deterministically with it.
 """
 
 from __future__ import annotations
@@ -19,8 +26,10 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[[], None], bool]] = []
         self._seq = 0
+        #: queued entries that are *not* daemons; quiescence means zero
+        self._real = 0
         self._running = False
 
     @property
@@ -28,12 +37,21 @@ class Engine:
         """Current simulated time in milliseconds."""
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` milliseconds of simulated time."""
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 daemon: bool = False) -> None:
+        """Run ``callback`` after ``delay`` milliseconds of simulated time.
+
+        A ``daemon`` entry never counts toward quiescence: ``run()`` with no
+        deadline, ``drain()`` and ``run_until()`` all ignore it when deciding
+        whether the simulation has gone quiet.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback,
+                                    daemon))
         self._seq += 1
+        if not daemon:
+            self._real += 1
 
     def schedule_now(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` at the current instant, after pending same-time work."""
@@ -43,24 +61,28 @@ class Engine:
         """Execute the next scheduled callback.  Returns False when idle."""
         if not self._heap:
             return False
-        time, _seq, callback = heapq.heappop(self._heap)
+        time, _seq, callback, daemon = heapq.heappop(self._heap)
+        if not daemon:
+            self._real -= 1
         self._now = time
         callback()
         return True
 
     def run(self, until: float | None = None) -> None:
-        """Run until the event queue drains or the clock passes ``until``.
+        """Run until the event queue quiesces or the clock passes ``until``.
 
         With ``until`` set, the clock is advanced exactly to ``until`` when
-        the queue drains early or the next event lies beyond it.
+        the queue quiesces early or the next event lies beyond it.  Without
+        ``until``, pending daemon entries do not count as work -- the loop
+        stops once only housekeeping remains.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         try:
             if until is None:
-                while self.step():
-                    pass
+                while self._real:
+                    self.step()
                 return
             if until < self._now:
                 raise SimulationError(f"until={until} is before now={self._now}")
@@ -71,13 +93,14 @@ class Engine:
             self._running = False
 
     def drain(self, max_ms: float) -> bool:
-        """Run until the queue empties, giving up ``max_ms`` from now.
+        """Run until the queue quiesces, giving up ``max_ms`` from now.
 
         The bounded form of :meth:`run` for driving a simulation to
         quiescence when some process may never stop (a retry loop waiting
         on a node that never recovers, say): returns True when the queue
         went quiet -- the clock then rests at the last event, not at the
-        deadline -- and False when work remained at the deadline.
+        deadline -- and False when work remained at the deadline.  Daemon
+        entries alone do not count as remaining work.
         """
         if max_ms < 0:
             raise SimulationError(f"cannot drain for negative time ({max_ms})")
@@ -86,9 +109,9 @@ class Engine:
         deadline = self._now + max_ms
         self._running = True
         try:
-            while self._heap and self._heap[0][0] <= deadline:
+            while self._real and self._heap[0][0] <= deadline:
                 self.step()
-            return not self._heap
+            return self._real == 0
         finally:
             self._running = False
 
@@ -96,7 +119,8 @@ class Engine:
         """Run until ``event`` has been processed; return its value.
 
         Raises the event's exception if it failed, and ``SimulationError`` if
-        the queue drains while the event is still pending (deadlock).
+        the queue quiesces (only daemon entries left) while the event is
+        still pending (deadlock).
         """
         # Local import to avoid a cycle at module-import time.
         from repro.sim.events import Event
@@ -104,7 +128,7 @@ class Engine:
         if not isinstance(event, Event):
             raise SimulationError(f"run_until() needs an Event, got {event!r}")
         while not event.processed:
-            if not self.step():
+            if not self._real or not self.step():
                 raise SimulationError(
                     f"event queue drained while {event!r} was still pending "
                     "(simulated deadlock)"
@@ -112,5 +136,5 @@ class Engine:
         return event.result()
 
     def pending_count(self) -> int:
-        """Number of callbacks still queued (diagnostic)."""
-        return len(self._heap)
+        """Number of non-daemon callbacks still queued (diagnostic)."""
+        return self._real

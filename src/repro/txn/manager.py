@@ -42,7 +42,7 @@ from repro.kernel.messages import Message
 from repro.kernel.node import Node
 from repro.kernel.ports import Port
 from repro.rpc.stubs import respond, respond_error
-from repro.sim import AllOf, AnyOf, Event, Timeout
+from repro.sim import AnyOf, Event, Timeout
 from repro.txn.ids import NULL_TID, TidFactory, TransactionID
 from repro.txn.status import TransactionState, TxnPhase
 
@@ -90,6 +90,11 @@ class TransactionManager:
         self._commits_since_checkpoint = 0
         self.commits = 0
         self.aborts = 0
+        #: family aborts driven by peer-failure notifications
+        self.aborts_on_failure = 0
+        #: crash-recovery gate: while set, inbound messages wait in the
+        #: port queue so protocol traffic cannot race log replay
+        self._recovery_gate: Event | None = None
         node.spawn(self._loop(), name="transaction-manager", defused=True)
 
     # -- plumbing ---------------------------------------------------------------
@@ -97,12 +102,34 @@ class TransactionManager:
     def _loop(self):
         while True:
             message = yield self.port.receive()
+            if self._recovery_gate is not None:
+                yield self._recovery_gate
             handler = getattr(self, "_handle_" + message.op.split(".")[-1],
                               None)
             if handler is None:
                 continue
             self.node.spawn(handler(message), name=f"tm:{message.op}",
                             defused=True)
+
+    def hold_messages_until_recovered(self) -> None:
+        """Close the message gate until :meth:`recovery_complete`.
+
+        A restarting node can receive commit-protocol traffic -- e.g. a
+        prompt abort triggered by a peer's failure detector -- while its
+        own log replay is still restoring the very transactions those
+        messages concern.  Processing an abort mid-replay interleaves
+        its undo with recovery's redo, resurrecting prepared-but-aborted
+        effects.  While the gate is closed, inbound messages simply wait
+        in the port queue; nothing is dropped.
+        """
+        self._recovery_gate = Event(self.ctx.engine,
+                                    name=f"tm-recovered:{self.node.name}")
+
+    def recovery_complete(self) -> None:
+        """Open the message gate: this node's state is consistent again."""
+        gate, self._recovery_gate = self._recovery_gate, None
+        if gate is not None and not gate.triggered:
+            gate.succeed()
 
     def _state(self, tid: TransactionID) -> TransactionState:
         try:
@@ -320,6 +347,10 @@ class TransactionManager:
 
     def _commit_root(self, state: TransactionState):
         tid = state.tid
+        if state.phase.terminal:
+            # A peer-failure notification aborted the family between the
+            # client's EndTransaction and here.
+            return state.phase is TxnPhase.COMMITTED
         children: list[str] = []
         if state.has_remote_sites:
             info = yield from self._call_port(
@@ -392,6 +423,10 @@ class TransactionManager:
                          children: list[str]):
         """Prepare local servers and child nodes; combined vote."""
         tid = state.tid
+        if state.phase is TxnPhase.ABORTED:
+            # Aborted under our feet (peer-failure notification) while the
+            # caller was off gathering spanning info.
+            return "abort"
         state.advance(TxnPhase.PREPARING)
         collection = None
         if children:
@@ -477,13 +512,74 @@ class TransactionManager:
             self.rm.note_txn_done(self.node, tid)
             self._forget(tid)
 
+    # -- peer-failure notifications (from the Communication Manager) --------------
+
+    def _handle_peer_failed(self, message: Message):
+        """A peer spanning this family was declared dead or restarted.
+
+        Presumed abort, promptly: abort every still-ACTIVE family fragment
+        at this node (releasing its locks), inject a synthetic abort vote
+        into the family's open vote collection so a coordinator mid-prepare
+        stops waiting immediately, and flag fragments that are mid-prepare
+        so their eventual vote becomes abort.  PREPARED and COMMITTED
+        fragments are never touched -- a prepared subordinate must learn
+        the outcome from its coordinator (possibly via recovery-time
+        outcome queries), and a committed transaction is history.
+        """
+        tid: TransactionID = message.body["tid"]
+        peer: str = message.body["peer"]
+        reason = f"peer {peer} {message.body.get('event', 'failed')}"
+        votes = self._collections.get(("vote", tid.toplevel))
+        if (votes is not None and peer in votes.expected
+                and peer not in votes.received):
+            votes.received[peer] = "abort"
+            if (set(votes.received) >= votes.expected
+                    and not votes.done.triggered):
+                votes.done.succeed()
+        members = sorted(
+            (other for other in self._states if other.toplevel == tid.toplevel),
+            key=lambda t: len(t.path), reverse=True)
+        for member in members:
+            state = self._states.get(member)
+            if state is None or state.phase.terminal:
+                continue
+            if state.phase is TxnPhase.PREPARED:
+                continue  # blocking window: only the coordinator decides
+            state.aborted_by_failure = True
+            if state.phase is TxnPhase.PREPARING:
+                # The prepare handler owns this state right now; make its
+                # vote come out abort instead of aborting under its feet.
+                state.abort_on_prepare = reason
+                continue
+            children = [c for c in message.body.get("children", ())
+                        if c not in (peer, self.node.name)]
+            self.aborts_on_failure += 1
+            self.ctx.meter.bump("aborts_on_failure")
+            yield from self._abort_subtree(state, children, reason=reason)
+
     # -- subordinate side ---------------------------------------------------------------
 
     def _handle_prepare_req(self, message: Message):
         tid: TransactionID = message.body["tid"]
         coordinator: str = message.body["from"]
         state = self._states.get(tid)
+        if state is not None and state.phase is TxnPhase.ABORTED:
+            # Already aborted here (e.g. a peer-failure notification beat
+            # the coordinator's prepare): the vote must be abort.
+            self._send_datagram(coordinator, "tm.vote", {"vote": "abort"},
+                                tid)
+            return
         if state is None:
+            # A fragment aborted on a failure notification leaves a flagged
+            # tombstone: its locks are gone and its effects undone, so the
+            # family must not commit.
+            if any(other.toplevel == tid
+                   and known.phase is TxnPhase.ABORTED
+                   and known.aborted_by_failure
+                   for other, known in self._states.items()):
+                self._send_datagram(coordinator, "tm.vote",
+                                    {"vote": "abort"}, tid)
+                return
             # The top level itself never operated here, but one of its
             # subtransactions may have (tracked under its own id): give
             # the family a root to merge into.
@@ -518,6 +614,14 @@ class TransactionManager:
             vote = yield from self._prepare_subtree(state, children)
         except Exception:
             vote = "abort"
+        if state.abort_on_prepare and vote != "abort":
+            # A peer failure arrived while we were preparing: we may still
+            # abort unilaterally (nothing durable was promised yet).
+            yield from self._abort_subtree(state, children,
+                                           reason=state.abort_on_prepare)
+            vote = "abort"
+            self._send_datagram(coordinator, "tm.vote", {"vote": vote}, tid)
+            return
         if vote == "update":
             yield from self.rm.append_status_via_message(
                 self.node, tid, "prepared", servers=tuple(state.servers),
@@ -658,6 +762,10 @@ class TransactionManager:
         Aborting a subtransaction does not abort its parent (Section 2.1.3);
         aborting a parent aborts all its live descendants.
         """
+        if state.phase.terminal:
+            # Already resolved (e.g. a peer-failure abort raced a
+            # timeout-driven one): nothing left to undo or release.
+            return
         tid = state.tid
         for child_tid in sorted(state.children, key=lambda t: len(t.path),
                                 reverse=True):

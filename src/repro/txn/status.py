@@ -65,6 +65,12 @@ class TransactionState:
     #: coordinator keeps its state until this empties (presumed abort
     #: demands that an in-doubt child can still learn the outcome)
     pending_acks: set[str] = field(default_factory=set)
+    #: True when the abort was driven by a peer-failure notification; a
+    #: later prepare request for the family must then vote abort rather
+    #: than be mistaken for a forgotten read-only participation
+    aborted_by_failure: bool = False
+    #: set mid-prepare when a peer failure demands the vote become abort
+    abort_on_prepare: str = ""
 
     def advance(self, phase: TxnPhase) -> None:
         if phase not in _ALLOWED[self.phase]:

@@ -162,7 +162,8 @@ def _decode_value(reader: _Reader):
 # the tuple tag, dict keys through the generic value encoding.
 _FIELDS = {
     RecordKind.VALUE_UPDATE: (
-        ValueUpdateRecord, ("server", "oid", "old_value", "new_value")),
+        ValueUpdateRecord, ("server", "oid", "old_value", "new_value",
+                            "compensates_lsn")),
     RecordKind.OPERATION: (
         OperationRecord, ("server", "operation", "redo_args",
                           "undo_operation", "undo_args", "oids",

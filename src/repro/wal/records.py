@@ -96,6 +96,14 @@ class ValueUpdateRecord(LogRecord):
     oid: ObjectID | None = None
     old_value: object = None
     new_value: object = None
+    #: nonzero on a compensation record: the LSN of the update whose
+    #: effect abort processing undid.  The undo write itself is not
+    #: WAL-gated, so without this record a checkpoint taken before the
+    #: abort would let recovery's backward scan stop short of the only
+    #: evidence that the object was rolled back.  The value pass replays
+    #: a compensation's ``new_value`` (the restored value) regardless of
+    #: the transaction's outcome.
+    compensates_lsn: int = 0
 
     def __post_init__(self) -> None:
         self.kind = RecordKind.VALUE_UPDATE

@@ -1,7 +1,5 @@
 """Transaction-Manager-driven periodic checkpoints (Section 3.2.2)."""
 
-import pytest
-
 from repro import TabsCluster, TabsConfig
 from repro.servers.int_array import IntegerArrayServer
 

@@ -1,8 +1,6 @@
 """Concurrent-transaction behaviour: isolation, fairness, determinism."""
 
-import pytest
-
-from repro import TabsCluster, TabsConfig, TransactionAborted
+from repro import TabsCluster
 from repro.servers.int_array import IntegerArrayServer
 from repro.sim import Timeout
 from tests.property.conftest import fast_config

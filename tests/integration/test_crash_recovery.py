@@ -1,7 +1,5 @@
 """Crash/restart scenarios for both recovery algorithms."""
 
-import pytest
-
 from repro import TabsCluster, TabsConfig
 from repro.servers.int_array import IntegerArrayServer
 from repro.servers.op_array import OperationArrayServer
@@ -270,3 +268,58 @@ class TestCheckpointsAndReclamation:
         tabs = cluster.node("n1")
         # Post-recovery checkpoint + truncation leave a short log.
         assert len(tabs.log_store) <= 2
+
+
+class TestAbortCompensation:
+    """Abort processing's undo writes bypass the write-ahead gate, so
+    they are logged as value compensation records: without them, a
+    checkpoint taken before the abort would let recovery's backward scan
+    stop short of the undo and resurrect the flushed pre-abort value."""
+
+    def test_abort_after_checkpoint_and_flush_survives_crash(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        tabs = cluster.node("n1")
+        run_set(cluster, app, 1, 10)
+
+        def scenario():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("array")
+            yield from app.call(ref, "set_cell",
+                                {"cell": 1, "value": 999}, tid)
+            # The uncommitted 999 reaches disk (page stealing), and the
+            # checkpoint then bounds the next recovery's backward scan
+            # *after* the update record.
+            yield from tabs.node.vm.flush_all()
+            yield from tabs.rm.take_checkpoint(
+                tabs.tm.active_transactions())
+            yield from app.abort_transaction(tid)
+
+        cluster.run_on("n1", scenario())
+        # The undone page is only dirty in volatile memory; the crash
+        # discards it, so recovery must reproduce the undo from the log.
+        cluster.crash_node("n1")
+        cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 1) == 10
+
+    def test_compensated_abort_is_idempotent_across_recoveries(self):
+        cluster = make_cluster()
+        app = cluster.application("n1")
+        tabs = cluster.node("n1")
+        run_set(cluster, app, 2, 5)
+
+        def aborted():
+            tid = yield from app.begin_transaction()
+            ref = yield from app.lookup_one("array")
+            yield from app.call(ref, "set_cell",
+                                {"cell": 2, "value": 777}, tid)
+            yield from app.abort_transaction(tid)
+
+        cluster.run_on("n1", aborted())
+        for _ in range(2):
+            cluster.crash_node("n1")
+            cluster.restart_node("n1")
+        app = cluster.application("n1")
+        assert run_get(cluster, app, 2) == 5
+        del tabs

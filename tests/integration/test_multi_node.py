@@ -147,7 +147,10 @@ def test_call_to_crashed_node_raises_session_broken():
         cluster.run_transaction("n0", body)
 
 
-def test_stale_reference_after_restart_requires_fresh_lookup():
+def test_stale_reference_after_restart_is_transparently_re_resolved():
+    """A reference minted before the serving node restarted is stale; the
+    RPC layer re-resolves it through the Name Server automatically, so
+    the caller never sees the restart."""
     cluster = make_cluster(2)
     app = cluster.application("n0")
     ref = cluster.run_on("n0", app.lookup_one("array1"))
@@ -155,17 +158,28 @@ def test_stale_reference_after_restart_requires_fresh_lookup():
     cluster.restart_node("n1")
 
     def stale(tid):
-        yield from get_cell(app, ref, tid, 1)
+        value = yield from get_cell(app, ref, tid, 1)
+        return value
+
+    assert cluster.run_transaction("n0", stale) == 0
+    assert cluster.meter.counter("rpc_retries") >= 1
+
+
+def test_stale_reference_fails_fast_when_retries_disabled():
+    from repro.rpc.stubs import call
+
+    cluster = make_cluster(2)
+    app = cluster.application("n0")
+    ref = cluster.run_on("n0", app.lookup_one("array1"))
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+
+    def stale(tid):
+        yield from call(cluster.network, cluster.node("n0").node, ref,
+                        "get_cell", {"cell": 1}, tid, retries=0)
 
     with pytest.raises(SessionBroken, match="stale"):
         cluster.run_transaction("n0", stale)
-
-    def fresh(tid):
-        ref2 = yield from app.lookup_one("array1")
-        value = yield from get_cell(app, ref2, tid, 1)
-        return value
-
-    assert cluster.run_transaction("n0", fresh) == 0
 
 
 def test_committed_distributed_write_survives_participant_crash():

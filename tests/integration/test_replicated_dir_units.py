@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import TabsCluster, TabsConfig
+from repro import TabsCluster
 from repro.servers.replicated_dir import (
     DirectoryRepresentativeServer,
     Replica,

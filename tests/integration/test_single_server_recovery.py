@@ -8,7 +8,7 @@ in-doubt data.
 
 import pytest
 
-from repro import TabsCluster, TabsConfig, TransactionAborted
+from repro import TabsCluster, TabsConfig
 from repro.servers.int_array import IntegerArrayServer
 from repro.sim import Timeout
 

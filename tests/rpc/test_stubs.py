@@ -144,3 +144,108 @@ def test_response_body_is_copied_not_aliased(world):
     body = run(ctx, call(network, nodes["a"], ref, "op", {}))
     body["x"] = 999
     assert shared["x"] == 1
+
+
+# -- retry, backoff, and reference re-resolution ----------------------------
+
+def test_transient_unreachability_is_retried_until_it_heals(world):
+    """Session establishment fails while partitioned; the capped backoff
+    outlives the partition and the call succeeds on a later attempt."""
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+    network.partition([["a"], ["b"]])
+    ctx.engine.schedule(60.0, network.heal)
+    body = run(ctx, call(network, nodes["a"], ref, "op", {"x": 9}))
+    assert body["echo"] == 9
+    assert ctx.meter.counter("rpc_retries") >= 1
+
+
+def test_retries_exhausted_surface_the_original_error(world):
+    ctx, network, nodes = world
+    port = echo_server(nodes["b"])
+    ref = ServiceRef("b", port, epoch=0)
+    network.partition([["a"], ["b"]])
+    with pytest.raises(SessionBroken):
+        run(ctx, call(network, nodes["a"], ref, "op", {}))
+    from repro.rpc.stubs import DEFAULT_CALL_RETRIES
+    assert ctx.meter.counter("rpc_retries") == DEFAULT_CALL_RETRIES
+    assert ctx.engine.now > 0.0  # the backoffs actually waited
+
+
+def test_backoff_schedule_is_deterministic(world):
+    """Same seed, same failure pattern => identical retry instants."""
+    def fail_forever(seed):
+        ctx = SimContext(cpu_costs=ZERO_CPU, seed=seed)
+        network = Network(ctx)
+        nodes = {}
+        for name in ("a", "b"):
+            node = Node(ctx, name)
+            CommunicationManager(node, network)
+            nodes[name] = node
+        port = nodes["b"].create_port("svc")
+        ref = ServiceRef("b", port, epoch=0)
+        network.partition([["a"], ["b"]])
+        with pytest.raises(SessionBroken):
+            run(ctx, call(network, nodes["a"], ref, "op", {}))
+        return ctx.engine.now
+
+    assert fail_forever(seed=7) == fail_forever(seed=7)
+    assert fail_forever(seed=7) != fail_forever(seed=8)
+
+
+def test_post_dispatch_timeout_is_never_retried(world):
+    """At-most-once: once the request may have reached the server, a
+    timeout must surface instead of re-sending."""
+    ctx, network, nodes = world
+    silent = nodes["b"].create_port("silent")
+    ref = ServiceRef("b", silent, epoch=0)
+    with pytest.raises(SessionBroken, match="no response"):
+        run(ctx, call(network, nodes["a"], ref, "op", {},
+                      timeout_ms=400.0))
+    assert ctx.meter.counter("rpc_retries") == 0
+
+
+def test_reply_ports_deallocated_after_timeouts(world):
+    """Repeated timed-out calls must not grow the caller's port table."""
+    ctx, network, nodes = world
+    silent = nodes["b"].create_port("silent")
+    ref = ServiceRef("b", silent, epoch=0)
+    before = len(nodes["a"]._ports)
+    for _ in range(3):
+        with pytest.raises(SessionBroken):
+            run(ctx, call(network, nodes["a"], ref, "op", {},
+                          timeout_ms=200.0))
+    assert len(nodes["a"]._ports) == before
+
+
+def test_stale_reference_re_resolved_after_server_restart():
+    """A reference minted before the serving node restarted is stale; the
+    retry loop re-resolves it through the Name Server by its registered
+    name and the call succeeds against the new incarnation."""
+    from repro import TabsCluster, TabsConfig
+    from repro.servers.int_array import IntegerArrayServer
+
+    cluster = TabsCluster(TabsConfig())
+    cluster.add_node("n0")
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("arr"))
+    cluster.start()
+    app = cluster.application("n0")
+
+    def before(tid):
+        ref = yield from app.lookup_one("arr")
+        yield from app.call(ref, "set_cell", {"cell": 1, "value": 7}, tid)
+        return ref
+
+    stale_ref = cluster.run_transaction("n0", before)
+    cluster.crash_node("n1")
+    cluster.restart_node("n1")
+
+    def after(tid):
+        result = yield from app.call(stale_ref, "get_cell", {"cell": 1},
+                                     tid)
+        return result["value"]
+
+    assert cluster.run_transaction("n0", after) == 7
+    assert cluster.meter.counter("rpc_retries") >= 1

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro import TabsCluster, TabsConfig
+from repro import TabsCluster
 from repro.errors import ServerError
 from repro.kernel.disk import PAGE_SIZE
 from repro.kernel.vm import ObjectID
-from repro.locking.modes import READ, WRITE
+from repro.locking.modes import WRITE
 from repro.servers.base import BaseDataServer
 from repro.txn.ids import TransactionID
 from tests.property.conftest import fast_config

@@ -165,3 +165,90 @@ def test_pending_count():
     assert engine.pending_count() == 2
     engine.run()
     assert engine.pending_count() == 0
+
+
+# -- daemon events (background housekeeping) --------------------------------
+
+def test_daemon_events_run_while_real_work_is_pending():
+    engine = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        engine.schedule(10.0, tick, daemon=True)
+
+    engine.schedule(10.0, tick, daemon=True)
+    engine.schedule(35.0, lambda: None)  # real work keeps the loop going
+    engine.run()
+    assert ticks == [10.0, 20.0, 30.0]
+    assert engine.now == 35.0  # run() stopped despite the pending tick
+
+
+def test_daemon_events_do_not_block_quiescence():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(5.0, forever, daemon=True)
+
+    engine.schedule(5.0, forever, daemon=True)
+    engine.run()  # would never return if daemons counted as work
+    assert engine.now == 0.0
+
+
+def test_pending_count_excludes_daemons():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None, daemon=True)
+    assert engine.pending_count() == 0
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_count() == 1
+
+
+def test_drain_quiesces_with_daemons_still_queued():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(5.0, forever, daemon=True)
+
+    engine.schedule(5.0, forever, daemon=True)
+    engine.schedule(7.0, lambda: None)
+    assert engine.drain(100.0) is True
+
+
+def test_run_with_until_executes_daemons_up_to_the_deadline():
+    engine = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        engine.schedule(10.0, tick, daemon=True)
+
+    engine.schedule(10.0, tick, daemon=True)
+    engine.run(until=45.0)
+    assert ticks == [10.0, 20.0, 30.0, 40.0]
+    assert engine.now == 45.0
+
+
+def test_run_until_sees_daemon_only_queue_as_deadlock():
+    from repro.sim import Event
+
+    engine = Engine()
+
+    def forever():
+        engine.schedule(5.0, forever, daemon=True)
+
+    engine.schedule(5.0, forever, daemon=True)
+    event = Event(engine, "never")
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run_until(event)
+
+
+def test_daemon_callback_can_create_real_work():
+    """A daemon that discovers something real (a suspicion, say) schedules
+    non-daemon work, which then keeps the loop alive until done."""
+    engine = Engine()
+    seen = []
+    engine.schedule(1.0, lambda: engine.schedule(
+        2.0, lambda: seen.append(engine.now)), daemon=True)
+    engine.schedule(5.0, lambda: None)  # real work past the daemon
+    engine.run()
+    assert seen == [3.0]
