@@ -6,6 +6,11 @@ Commands:
 - ``primitives`` -- measure and print Table 5-1 against the paper
 - ``benchmark [keys...]`` -- run Table 5-4 rows (default: a quick subset)
 - ``paths`` -- print the longest-path commit analysis (Table 5-3 method)
+- ``trace <target>`` -- run a benchmark or the canned chaos scenario with
+  the flight recorder on; emit Chrome trace-event JSON (load it at
+  https://ui.perfetto.dev) and optionally compact JSONL
+- ``metrics <target>`` -- run a target and print its per-node counters,
+  gauges, and latency histograms
 
 The heavier artifacts (all fourteen benchmarks under three configurations,
 ablations, throughput) live in ``pytest benchmarks/``.
@@ -18,12 +23,33 @@ import sys
 
 from repro import TabsCluster, TabsConfig
 from repro.kernel.costs import MEASURED_1985
+from repro.perf.benchmarks import BENCHMARKS_BY_KEY, run_benchmark
 from repro.perf.model import PAPER_TABLE_5_3
 from repro.perf.pathmodel import TABLE_5_3_PATHS
 from repro.perf.primitives import measure_primitives
 from repro.perf.projections import run_table_5_4
-from repro.perf.report import render_table_5_1, render_table_5_4
+from repro.perf.report import (
+    render_metrics,
+    render_table_5_1,
+    render_table_5_4,
+)
 from repro.servers.int_array import IntegerArrayServer
+
+#: the extra trace/metrics target beyond the benchmark keys
+CHAOS_TARGET = "chaos"
+
+
+def write_report(text: str, stream=None) -> None:
+    """Write one report to ``stream``, defaulting to the *current* stdout.
+
+    Every command funnels its output through here; resolving
+    ``sys.stdout`` at call time (not import time) keeps the commands
+    observable under pytest's ``capsys`` and honest under redirection.
+    """
+    out = stream if stream is not None else sys.stdout
+    out.write(text)
+    if not text.endswith("\n"):
+        out.write("\n")
 
 
 def cmd_inventory(_args) -> int:
@@ -31,34 +57,139 @@ def cmd_inventory(_args) -> int:
     cluster.add_node("demo")
     cluster.add_server("demo", IntegerArrayServer.factory("array"))
     cluster.start()
-    print("Figure 3-1: the components of a TABS node\n")
+    lines = ["Figure 3-1: the components of a TABS node", ""]
     for name, role in cluster.node("demo").component_inventory().items():
-        print(f"  {name:24s} {role}")
+        lines.append(f"  {name:24s} {role}")
+    write_report("\n".join(lines))
     return 0
 
 
 def cmd_primitives(_args) -> int:
     measured = measure_primitives(repetitions=20)
-    print(render_table_5_1(measured, MEASURED_1985))
+    write_report(render_table_5_1(measured, MEASURED_1985))
     return 0
 
 
 def cmd_benchmark(args) -> int:
     keys = args.keys or ["r1", "w1", "r1r1", "w1w1"]
     rows = run_table_5_4(keys=keys, iterations=args.iterations)
-    print(render_table_5_4(rows))
+    write_report(render_table_5_4(rows))
     return 0
 
 
 def cmd_paths(_args) -> int:
-    print("Longest-path commit counts (ours | paper), per Table 5-3\n")
+    lines = ["Longest-path commit counts (ours | paper), per Table 5-3", ""]
     for protocol, path in TABLE_5_3_PATHS.items():
         paper = PAPER_TABLE_5_3[protocol]
-        print(f"  {protocol:14s} dg {path.datagrams:>4} | "
-              f"{paper.datagrams:>4}   small {path.small:>4.0f} | "
-              f"{paper.small:>4.0f}   stable {path.stable_writes:>2.0f} | "
-              f"{paper.stable_writes:>2.0f}")
+        lines.append(f"  {protocol:14s} dg {path.datagrams:>4} | "
+                     f"{paper.datagrams:>4}   small {path.small:>4.0f} | "
+                     f"{paper.small:>4.0f}   stable {path.stable_writes:>2.0f} | "
+                     f"{paper.stable_writes:>2.0f}")
+    write_report("\n".join(lines))
     return 0
+
+
+# -- observability targets ---------------------------------------------------
+
+def _run_chaos_target(seed: int, traced: bool) -> TabsCluster:
+    """The canned chaos scenario: crash + partition + link-fault torture.
+
+    Mirrors the determinism suite's plan so a trace of it shows failure
+    detection, aborts, session breaks, and crash-recovery replay -- the
+    events the flight recorder exists for.
+    """
+    from repro.chaos import (
+        ChaosController,
+        ChaosWorkload,
+        CrashAt,
+        FaultPlan,
+        LinkFaultWindow,
+        PartitionAt,
+    )
+    from repro.chaos.workload import build_cluster
+
+    plan = FaultPlan.of(
+        CrashAt(350.0, "n1", restart_after_ms=450.0),
+        PartitionAt(1_000.0, (("n0",), ("n1", "n2")), heal_after_ms=500.0),
+        LinkFaultWindow(1_800.0, 2_600.0, "n0", "n2", loss=0.3,
+                        duplicate=0.2, reorder=0.2))
+    cluster = build_cluster(seed=seed)
+    if traced:
+        cluster.enable_tracing()
+    controller = ChaosController(cluster, plan, seed=seed)
+    workload = ChaosWorkload(cluster, controller, seed=seed)
+    workload.setup()
+    controller.install()
+    workload.schedule_traffic(transfers=10)
+    workload.run(4_000.0)
+    workload.finale()
+    return cluster
+
+
+def _run_target(target: str, seed: int, iterations: int,
+                traced: bool) -> TabsCluster:
+    """Run ``target`` (a benchmark key or ``chaos``); return its cluster."""
+    if target == CHAOS_TARGET:
+        return _run_chaos_target(seed, traced)
+    spec = BENCHMARKS_BY_KEY[target]
+    captured: list[TabsCluster] = []
+
+    def instrument(cluster: TabsCluster) -> None:
+        captured.append(cluster)
+        if traced:
+            cluster.enable_tracing()
+
+    run_benchmark(spec, TabsConfig(seed=seed), iterations=iterations,
+                  instrument=instrument)
+    return captured[0]
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import chrome_trace_json, jsonl_events
+
+    cluster = _run_target(args.target, args.seed, args.iterations,
+                          traced=True)
+    tracer = cluster.ctx.tracer
+    payload = chrome_trace_json(tracer)
+    summary = (f"{len(tracer.spans)} spans, {len(tracer.events)} events, "
+               f"{tracer.last_time_ms():.1f} simulated ms")
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(jsonl_events(tracer))
+        write_report(f"wrote JSONL flight record to {args.jsonl} "
+                     f"({summary})")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        write_report(f"wrote Chrome trace to {args.out} ({summary}); "
+                     "load it at https://ui.perfetto.dev")
+    elif not args.jsonl:
+        write_report(payload)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import metrics_json
+
+    cluster = _run_target(args.target, args.seed, args.iterations,
+                          traced=False)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(metrics_json(cluster.metrics))
+        write_report(f"wrote metrics snapshot to {args.json}")
+    else:
+        write_report(render_metrics(cluster.metrics))
+    return 0
+
+
+def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "target",
+        choices=sorted(BENCHMARKS_BY_KEY) + [CHAOS_TARGET],
+        help="benchmark key (e.g. w1w1) or 'chaos' (canned fault scenario)")
+    parser.add_argument("--seed", type=int, default=1985)
+    parser.add_argument("--iterations", type=int, default=3,
+                        help="benchmark iterations (ignored for chaos)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +205,19 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--iterations", type=int, default=10)
     bench.set_defaults(run=cmd_benchmark)
     sub.add_parser("paths").set_defaults(run=cmd_paths)
+    trace = sub.add_parser(
+        "trace", help="run a target with the flight recorder on")
+    _add_target_arguments(trace)
+    trace.add_argument("--out", help="write Chrome trace-event JSON here "
+                                     "(default: print to stdout)")
+    trace.add_argument("--jsonl", help="also write compact JSONL events")
+    trace.set_defaults(run=cmd_trace)
+    metrics = sub.add_parser(
+        "metrics", help="run a target and print its metrics registry")
+    _add_target_arguments(metrics)
+    metrics.add_argument("--json", help="write the JSON snapshot here "
+                                        "instead of rendering tables")
+    metrics.set_defaults(run=cmd_metrics)
     args = parser.parse_args(argv)
     return args.run(args)
 

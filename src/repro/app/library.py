@@ -56,7 +56,12 @@ class ApplicationLibrary:
             self.ctx.meter.phase = Phase.PRE_COMMIT
         yield self.ctx.cpu("APP", self.ctx.cpu_costs.app_txn_overhead)
         body = yield from self._tm_request("tm.begin", {"parent": parent})
-        return body["tid"]
+        tid = body["tid"]
+        if self.ctx.tracer is not None and parent.is_null:
+            # The transaction family's root span: every span this family
+            # opens anywhere in the cluster descends from it.
+            self.ctx.tracer.begin_root(tid, self.node.name)
+        return tid
 
     def end_transaction(self, tid: TransactionID):
         """Attempt to commit (generator).  Returns True iff committed."""
@@ -67,12 +72,19 @@ class ApplicationLibrary:
         finally:
             if self.measured:
                 self.ctx.meter.phase = Phase.PRE_COMMIT
-        return body["committed"]
+        committed = body["committed"]
+        if self.ctx.tracer is not None and tid.is_toplevel:
+            self.ctx.tracer.end(self.ctx.tracer.family_root(tid),
+                                committed=committed)
+        return committed
 
     def abort_transaction(self, tid: TransactionID, reason: str = ""):
         """Force the transaction to abort (generator)."""
         yield from self._tm_request("tm.abort", {"tid": tid,
                                                  "reason": reason})
+        if self.ctx.tracer is not None and tid.is_toplevel:
+            self.ctx.tracer.end(self.ctx.tracer.family_root(tid),
+                                committed=False, aborted=True)
 
     def _tm_request(self, op: str, body: dict):
         reply_port = Port(self.ctx, node=self.node, name=f"app:{op}")

@@ -44,7 +44,7 @@ class ChaosController:
         self._installed = False
         self._watchers: list[Process] = []
         if trace_network:
-            cluster.network.trace_hook = self._network_event
+            cluster.network.add_trace_hook(self._network_event)
         for name, tabs_node in cluster.nodes.items():
             tabs_node.node.on_crash.append(self._node_crashed)
             tabs_node.node.on_restart.append(self._node_restarted)

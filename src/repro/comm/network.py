@@ -75,11 +75,12 @@ class Network:
         #: partition id per node; None means the network is whole
         self._partition: dict[str, int] | None = None
         self._link_faults: dict[tuple[str, str], LinkFault] = {}
-        #: called as hook(time_ms, event, source, target, op) when set;
-        #: events are "send", "recv", "lost", "blocked", "undeliverable",
-        #: "dup", "reorder".
-        self.trace_hook: Callable[[float, str, str, str, str], None] | None \
-            = None
+        #: each called as hook(time_ms, event, source, target, op); events
+        #: are "send", "recv", "lost", "blocked", "undeliverable", "dup",
+        #: "reorder".  A list so the chaos controller and a tracer can
+        #: observe the same run without clobbering each other.
+        self.trace_hooks: list[Callable[[float, str, str, str, str], None]] \
+            = []
         #: session identifiers, scoped to this network so two cluster runs
         #: in one process produce identical ids (trace reproducibility)
         self._session_seq = 0
@@ -218,9 +219,23 @@ class Network:
 
     # -- tracing -----------------------------------------------------------------
 
+    def add_trace_hook(
+            self, hook: Callable[[float, str, str, str, str], None]) -> None:
+        """Subscribe to network events; hooks fire in subscription order."""
+        self.trace_hooks.append(hook)
+
+    def remove_trace_hook(
+            self, hook: Callable[[float, str, str, str, str], None]) -> None:
+        if hook in self.trace_hooks:
+            self.trace_hooks.remove(hook)
+
     def _trace(self, event: str, source: str, target: str, op: str) -> None:
-        if self.trace_hook is not None:
-            self.trace_hook(self.ctx.now, event, source, target, op)
+        node = target if event in ("recv", "undeliverable") else \
+            (source or target)
+        if node:
+            self.ctx.metrics.counter(node, f"net.{event}").inc()
+        for hook in self.trace_hooks:
+            hook(self.ctx.now, event, source, target, op)
 
     # -- datagram transport -----------------------------------------------------
 

@@ -37,6 +37,7 @@ class Session:
         self.broken = False
         #: messages carried, for at-most-once sequence accounting
         self.sequence = 0
+        network.ctx.metrics.counter(local, "sessions.established").inc()
 
     @property
     def usable(self) -> bool:
@@ -53,6 +54,8 @@ class Session:
         """
         if not self.usable:
             self.broken = True
+            self.network.ctx.metrics.counter(
+                self.local, "sessions.broken").inc()
             raise SessionBroken(
                 f"session {self.local} -> {self.remote} is broken "
                 f"(peer crashed or unreachable)")
@@ -87,8 +90,10 @@ class SessionTable:
         the break lazily.
         """
         session = self._sessions.get(remote)
-        if session is not None:
+        if session is not None and not session.broken:
             session.broken = True
+            self.network.ctx.metrics.counter(
+                self.local, "sessions.broken").inc()
 
     def active_peers(self) -> list[str]:
         return [remote for remote, session in self._sessions.items()

@@ -42,6 +42,25 @@ class TabsCluster:
     def meter(self):
         return self.ctx.meter
 
+    @property
+    def metrics(self):
+        return self.ctx.metrics
+
+    def enable_tracing(self):
+        """Attach a :class:`~repro.obs.Tracer` to the cluster.
+
+        Idempotent; returns the tracer.  Tracing is passive -- it charges
+        no primitives, schedules no events, and draws no randomness -- so
+        an instrumented run replays the untraced event sequence exactly.
+        """
+        if self.ctx.tracer is None:
+            from repro.obs import Tracer
+
+            tracer = Tracer(self.ctx.engine)
+            self.ctx.tracer = tracer
+            self.network.add_trace_hook(tracer.network_event)
+        return self.ctx.tracer
+
     # -- topology ------------------------------------------------------------------
 
     def add_node(self, name: str) -> TabsNode:

@@ -17,6 +17,7 @@ from repro.kernel.costs import (
     CpuCosts,
     Primitive,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import Engine, Timeout
 
 
@@ -32,6 +33,13 @@ class SimContext:
         self.cpu_costs = cpu_costs or CpuCosts()
         self.meter = CostMeter()
         self.random = random.Random(seed)
+        #: operational metrics (lock waits, log-force latency, commit paths);
+        #: always on -- recording is passive and cannot perturb the run
+        self.metrics = MetricsRegistry()
+        #: causal span tracer (:class:`repro.obs.Tracer`), or None.  Every
+        #: instrumentation site guards on ``ctx.tracer is not None`` so the
+        #: disabled path costs one attribute check.
+        self.tracer = None
         #: Section 5.3's "Improved TABS Architecture": the Recovery Manager
         #: and Transaction Manager are merged with the Accent kernel, which
         #: eliminates message passing among those three components and lets

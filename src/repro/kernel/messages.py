@@ -76,6 +76,10 @@ class Message:
     #: kernel/TM/RM component and must not be charged as a message
     #: (Section 5.3's improved-architecture projection).
     free_reply: bool = False
+    #: span id of the sender's innermost open span for this message's
+    #: transaction family; lets the receiving node parent its spans across
+    #: the wire.  0 when tracing is off or the sender had no open span.
+    trace_parent: int = 0
     msg_id: int = field(default_factory=lambda: next(_message_ids))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -105,6 +105,9 @@ class Node:
         self.services.clear()
         self.vm.clear_volatile()
         self.crashes += 1
+        self.ctx.metrics.counter(self.name, "node.crashes").inc()
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.node_crashed(self.name)
         for callback in list(self.on_crash):
             callback(self)
 

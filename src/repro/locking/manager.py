@@ -44,10 +44,13 @@ class LockManager:
 
     def __init__(self, ctx: SimContext,
                  protocol: CompatibilityMatrix = READ_WRITE_PROTOCOL,
-                 default_timeout_ms: float = DEFAULT_LOCK_TIMEOUT_MS) -> None:
+                 default_timeout_ms: float = DEFAULT_LOCK_TIMEOUT_MS,
+                 node_name: str = "") -> None:
         self.ctx = ctx
         self.protocol = protocol
         self.default_timeout_ms = default_timeout_ms
+        #: which node's metrics/trace track lock activity lands on
+        self.node_name = node_name
         self._locks: dict[Hashable, _LockEntry] = {}
         self.timeouts = 0
         self.waits = 0
@@ -119,8 +122,25 @@ class LockManager:
         how TABS breaks deadlocks.
         """
         if self.try_lock(tid, key, mode):
+            if self.ctx.tracer is not None:
+                # Zero-duration span: granted without waiting, but still a
+                # node in the transaction's span tree.
+                acquired = self.ctx.tracer.begin(
+                    "lock.acquire", self.node_name, "LOCK", tid=tid,
+                    key=str(key), mode=mode.name)
+                self.ctx.tracer.end(acquired)
             return
         self.waits += 1
+        metrics = self.ctx.metrics
+        metrics.counter(self.node_name, "lock.waits").inc()
+        depth = metrics.gauge(self.node_name, "lock.wait_depth")
+        depth.inc()
+        started = self.ctx.now
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "lock.wait", self.node_name, "LOCK", tid=tid,
+                key=str(key), mode=mode.name)
         entry = self._locks[key]
         waiter = _Waiter(tid, mode, Event(self.ctx.engine,
                                           name=f"lock:{key}"))
@@ -128,15 +148,26 @@ class LockManager:
         deadline = Timeout(
             self.ctx.engine,
             self.default_timeout_ms if timeout_ms is None else timeout_ms)
-        which, _value = yield AnyOf(self.ctx.engine, [waiter.event, deadline])
-        if which == 1:  # the deadline fired first
-            if waiter.event.triggered:
-                return  # granted at the very instant the deadline fired
-            entry.queue.remove(waiter)
-            self.timeouts += 1
-            raise LockTimeout(
-                f"transaction {tid} timed out waiting for {mode} on {key!r} "
-                f"(holders: {list(entry.holders)})")
+        outcome = "granted"
+        try:
+            which, _value = yield AnyOf(self.ctx.engine,
+                                        [waiter.event, deadline])
+            if which == 1:  # the deadline fired first
+                if waiter.event.triggered:
+                    return  # granted at the very instant the deadline fired
+                entry.queue.remove(waiter)
+                self.timeouts += 1
+                metrics.counter(self.node_name, "lock.timeouts").inc()
+                outcome = "timeout"
+                raise LockTimeout(
+                    f"transaction {tid} timed out waiting for {mode} on "
+                    f"{key!r} (holders: {list(entry.holders)})")
+        finally:
+            depth.dec()
+            metrics.histogram(self.node_name, "lock.wait_ms").observe(
+                self.ctx.now - started)
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id, outcome=outcome)
 
     # -- release ---------------------------------------------------------------
 

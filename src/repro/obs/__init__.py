@@ -1,0 +1,39 @@
+"""``repro.obs``: deterministic tracing and metrics for the simulation.
+
+The observability layer has three parts, mirroring how Section 5 of the
+paper accounts for *where time goes*:
+
+- :mod:`repro.obs.tracer` -- causal spans keyed by transaction family,
+  opened at every interesting point of a transaction's life (client call,
+  lock wait, WAL force, the 2PC phases, recovery replay) and stitched into
+  one cross-node tree per distributed transaction.
+- :mod:`repro.obs.metrics` -- per-node counters, gauges, and log-bucket
+  latency histograms (lock waits, log forces, commit paths per protocol,
+  retransmits), complementing the :class:`~repro.kernel.costs.CostMeter`'s
+  paper-table primitive counts.
+- :mod:`repro.obs.export` -- Chrome trace-event JSON (open it in Perfetto
+  or ``chrome://tracing``) and a compact JSONL event log.
+
+Everything is timestamped from the simulation engine's clock, never the
+wall clock, so a traced chaos run is byte-for-byte reproducible from its
+seed; and tracing is strictly passive (no primitive charges, no scheduled
+events, no RNG draws), so enabling it never changes a paper table.
+"""
+
+from repro.obs.export import chrome_trace, chrome_trace_json, jsonl_events, metrics_json
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Span, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "jsonl_events",
+    "metrics_json",
+]

@@ -15,6 +15,7 @@ elapsed time, per-phase primitive counts, and TABS system-process CPU time
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.cluster import TabsCluster
 from repro.core.config import TabsConfig
@@ -183,10 +184,20 @@ def _prefill_page_cache(cluster: TabsCluster, spec: BenchmarkSpec) -> None:
 
 def run_benchmark(spec: BenchmarkSpec, config: TabsConfig | None = None,
                   iterations: int = 20,
-                  warmup: int = 2) -> BenchmarkResult:
-    """Execute one benchmark and average the measured iterations."""
+                  warmup: int = 2,
+                  instrument: Callable[[TabsCluster], None] | None = None,
+                  ) -> BenchmarkResult:
+    """Execute one benchmark and average the measured iterations.
+
+    ``instrument``, when given, is called with the freshly built cluster
+    before any transaction runs -- the hook the trace CLI and tests use to
+    call :meth:`~repro.core.cluster.TabsCluster.enable_tracing` (or attach
+    any other passive observer) without rebuilding the runner.
+    """
     config = config or TabsConfig()
     cluster = build_benchmark_cluster(spec, config)
+    if instrument is not None:
+        instrument(cluster)
     _prefill_page_cache(cluster, spec)
     app = cluster.application("node0", measured=True)
     paginators = [_Paginator(cluster.ctx.random)

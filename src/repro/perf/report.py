@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.kernel.costs import CostProfile, Primitive
+from repro.kernel.costs import CostProfile, Primitive, round_count
 from repro.perf.benchmarks import BenchmarkResult
 from repro.perf.model import (
     COMMIT_PROTOCOL_OF,
@@ -63,6 +63,37 @@ def render_robustness_counters(meter) -> str:
     return render_table("Robustness counters", ["event", "count"], rows)
 
 
+def render_metrics(registry) -> str:
+    """Per-node counters, gauges, and latency histograms of one run.
+
+    Reads a :class:`repro.obs.MetricsRegistry`.  Rows sort by
+    ``(node, name)``, so two same-seed runs render identically.
+    """
+    sections = []
+    counters = registry.counters()
+    if counters:
+        rows = [[node, name, str(metric.value)]
+                for (node, name), metric in sorted(counters.items())]
+        sections.append(render_table(
+            "Counters", ["node", "counter", "count"], rows))
+    gauges = registry.gauges()
+    if gauges:
+        rows = [[node, name, str(metric.value), str(metric.high_water)]
+                for (node, name), metric in sorted(gauges.items())]
+        sections.append(render_table(
+            "Gauges", ["node", "gauge", "value", "max"], rows))
+    histograms = registry.histograms()
+    if histograms:
+        rows = [[node, name, str(metric.count), f"{metric.mean:.2f}",
+                 f"{metric.min if metric.min is not None else 0.0:.2f}",
+                 f"{metric.max if metric.max is not None else 0.0:.2f}"]
+                for (node, name), metric in sorted(histograms.items())]
+        sections.append(render_table(
+            "Latency histograms (ms)",
+            ["node", "histogram", "n", "mean", "min", "max"], rows))
+    return "\n\n".join(sections) if sections else "no metrics recorded"
+
+
 def render_table_5_1(measured: dict[Primitive, float],
                      paper_profile: CostProfile) -> str:
     rows = [[_PRIMITIVE_LABELS[p], f"{measured[p]:.1f}",
@@ -74,8 +105,15 @@ def render_table_5_1(measured: dict[Primitive, float],
 
 
 def _fmt(value: float | None) -> str:
+    """Render a count, rounding (half-even) at the report boundary only.
+
+    Without the rounding, an exact-in-spirit count like ``3.0000000000004``
+    (floating-point dust from per-iteration averaging) would print as
+    ``3.00`` while its neighbours print ``3``.
+    """
     if value is None:
         return "?"
+    value = round_count(value)
     if value == int(value):
         return str(int(value))
     return f"{value:.2f}"

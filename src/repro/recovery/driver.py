@@ -67,6 +67,11 @@ def recover_node(rm: RecoveryManager, tm: TransactionManager,
     Returns a :class:`RecoveryReport`.
     """
     node = rm.node
+    ctx = node.ctx
+    span_id = 0
+    if ctx.tracer is not None:
+        span_id = ctx.tracer.begin("recovery.replay", node.name, "RECOVERY",
+                                   epoch=node.epoch)
     report = RecoveryReport()
     records = rm.wal.read_forward(rm.wal.store.truncated_before)
     plan = analyze(records)
@@ -139,4 +144,16 @@ def recover_node(rm: RecoveryManager, tm: TransactionManager,
     yield from node.vm.flush_all()
     yield from rm.take_checkpoint(tm.active_transactions())
     rm.wal.store.truncate_before(rm.truncation_bound())
+    ctx.metrics.counter(node.name, "recovery.replays").inc()
+    ctx.metrics.histogram(node.name, "recovery.records_scanned").observe(
+        report.log_records_scanned)
+    if span_id and ctx.tracer is not None:
+        ctx.tracer.end(
+            span_id,
+            records_scanned=report.log_records_scanned,
+            values_restored=report.values_restored,
+            operations_redone=report.operations_redone,
+            operations_undone=report.operations_undone,
+            prepared_restored=len(report.prepared_restored),
+            phase_two_redriven=len(report.phase_two_redriven))
     return report

@@ -73,7 +73,8 @@ class RecoveryManager:
         self.node = node
         self.ctx = node.ctx
         self.wal = WriteAheadLog(node.ctx, store=store,
-                                 buffer_capacity=buffer_capacity)
+                                 buffer_capacity=buffer_capacity,
+                                 node_name=node.name)
         self.wal.on_buffer_full = self._on_buffer_full
         self.port = node.create_port("rm")
         node.register_service(SERVICE, self.port)
@@ -135,16 +136,24 @@ class RecoveryManager:
     # -- spooling -------------------------------------------------------------------
 
     def _handle_spool(self, message: Message):
+        record: LogRecord = message.body["record"]
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "rm.spool", self.node.name, "RM", tid=record.tid,
+                parent_id=message.trace_parent,
+                record=type(record).__name__)
         # Spooling runs on the shared CPU while the data server waits for
         # the ack, so it is squarely on the transaction's critical path
         # (10 ms per record in the Section 5.2 accounting).
         yield self.ctx.cpu("RM", self.ctx.cpu_costs.rm_spool_record)
-        record: LogRecord = message.body["record"]
         lsn = self._append_chained(record)
         for oid in _oids_of(record):
             for page in oid.pages():
                 self._page_rec_lsn.setdefault((oid.segment_id, page), lsn)
         respond(message, {"lsn": lsn})
+        if span_id and self.ctx.tracer is not None:
+            self.ctx.tracer.end(span_id, lsn=lsn)
         self._maybe_reclaim()
 
     def _handle_prepare_record(self, message: Message):
@@ -186,6 +195,11 @@ class RecoveryManager:
             merged_into=body.get("merged_into"))
         self._append_chained(record)
         if body.get("force"):
+            span_id = 0
+            if self.ctx.tracer is not None:
+                span_id = self.ctx.tracer.begin(
+                    "rm.force_status", self.node.name, "RM",
+                    tid=body["tid"], status=body["status"])
             # Commit-record processing: the 8 ms extra overlaps the stable
             # write (the paper itself notes this double-counting), while the
             # 5 ms per-transaction bookkeeping is recorded alongside.
@@ -193,6 +207,8 @@ class RecoveryManager:
                 "RM", self.ctx.cpu_costs.rm_commit_write_extra)
             self.ctx.meter.record_cpu("RM", self.ctx.cpu_costs.rm_read_txn)
             yield from self.wal.force()
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id)
             respond(message, {"ok": True})
             self._maybe_reclaim()
         if record.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):

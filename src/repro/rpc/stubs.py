@@ -88,26 +88,36 @@ def call(network: Network, client: Node, ref: ServiceRef, op: str,
     """
     ctx = client.ctx
     attempt = 0
-    while True:
-        try:
-            result = yield from _call_once(network, client, ref, op, body,
-                                           tid, timeout_ms)
-            return result
-        except _Retriable as failure:
-            attempt += 1
-            if attempt > retries:
-                raise failure.error
-            ctx.meter.bump("rpc_retries")
-            backoff = min(RETRY_BACKOFF_CAP_MS,
-                          RETRY_BACKOFF_BASE_MS * (2 ** (attempt - 1)))
-            # Deterministic jitter: the seeded RNG spreads retriers without
-            # breaking trace reproducibility.
-            backoff *= 0.5 + ctx.random.random()
-            yield Timeout(ctx.engine, backoff)
-            if failure.stale_ref:
-                fresh = yield from _re_resolve(client, ref)
-                if fresh is not None:
-                    ref = fresh
+    span_id = 0
+    if ctx.tracer is not None:
+        span_id = ctx.tracer.begin(f"rpc:{op}", client.name, "RPC", tid=tid,
+                                   target=ref.node_name,
+                                   local=ref.node_name == client.name)
+    try:
+        while True:
+            try:
+                result = yield from _call_once(network, client, ref, op, body,
+                                               tid, timeout_ms)
+                return result
+            except _Retriable as failure:
+                attempt += 1
+                if attempt > retries:
+                    raise failure.error
+                ctx.meter.bump("rpc_retries")
+                ctx.metrics.counter(client.name, "rpc.retries").inc()
+                backoff = min(RETRY_BACKOFF_CAP_MS,
+                              RETRY_BACKOFF_BASE_MS * (2 ** (attempt - 1)))
+                # Deterministic jitter: the seeded RNG spreads retriers
+                # without breaking trace reproducibility.
+                backoff *= 0.5 + ctx.random.random()
+                yield Timeout(ctx.engine, backoff)
+                if failure.stale_ref:
+                    fresh = yield from _re_resolve(client, ref)
+                    if fresh is not None:
+                        ref = fresh
+    finally:
+        if span_id and ctx.tracer is not None:
+            ctx.tracer.end(span_id, attempts=attempt + 1)
 
 
 def _re_resolve(client: Node, ref: ServiceRef):
@@ -165,11 +175,14 @@ def _call_once(network: Network, client: Node, ref: ServiceRef, op: str,
             f"node {ref.node_name!r} became unreachable mid-call "
             "(crashed or partitioned away)"))
     reply_port = Port(ctx, node=client, name=f"rpc-reply:{op}")
+    trace_parent = (ctx.tracer.current_span_id(tid, client.name)
+                    if ctx.tracer is not None else 0)
     try:
         ref.port.send(Message(op=op, body=dict(body or {}),
                               reply_to=reply_port, tid=tid,
                               kind=MessageKind.UNCHARGED,
-                              sender_node=client.name),
+                              sender_node=client.name,
+                              trace_parent=trace_parent),
                       charged=False)
 
         if local:

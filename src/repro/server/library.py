@@ -81,7 +81,8 @@ class DataServerLibrary:
         self.ctx = node.ctx
         self.server_id = server_id
         self.port = node.create_port(f"ds:{server_id}")
-        self.locks = LockManager(node.ctx, protocol=protocol)
+        self.locks = LockManager(node.ctx, protocol=protocol,
+                                 node_name=node.name)
         if lock_timeout_ms is not None:
             self.locks.default_timeout_ms = lock_timeout_ms
         self.rm = RecoveryManagerClient(node)
@@ -149,6 +150,20 @@ class DataServerLibrary:
                             defused=True)
 
     def _serve(self, message: Message):
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_tid = (message.tid if message.tid is not None
+                        else message.body.get("tid"))
+            span_id = self.ctx.tracer.begin(
+                f"ds:{message.op}", self.node.name, "DS", tid=span_tid,
+                parent_id=message.trace_parent, server=self.server_id)
+        try:
+            yield from self._serve_traced(message)
+        finally:
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id)
+
+    def _serve_traced(self, message: Message):
         if message.op.startswith("ds."):
             yield from self._serve_system(message)
             return

@@ -141,9 +141,14 @@ class TransactionManager:
 
     def _send_datagram(self, target: str, op: str, body: dict,
                        tid: TransactionID) -> None:
+        trace_parent = 0
+        if self.ctx.tracer is not None:
+            trace_parent = self.ctx.tracer.current_span_id(tid,
+                                                           self.node.name)
         payload = Message(op=op, tid=tid,
                           body={**body, "service": SERVICE,
-                                "from": self.node.name, "tid": tid})
+                                "from": self.node.name, "tid": tid},
+                          trace_parent=trace_parent)
         self.node.service(CM_SERVICE).send(Message(
             op="cm.send_datagram", body={"target": target,
                                          "payload": payload}))
@@ -351,6 +356,11 @@ class TransactionManager:
             # A peer-failure notification aborted the family between the
             # client's EndTransaction and here.
             return state.phase is TxnPhase.COMMITTED
+        started = self.ctx.now
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin("2pc.commit", self.node.name,
+                                            "TM", tid=tid)
         children: list[str] = []
         if state.has_remote_sites:
             info = yield from self._call_port(
@@ -362,6 +372,8 @@ class TransactionManager:
         if vote == "abort":
             yield from self._abort_subtree(state, children)
             self.aborts += 1
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id, outcome="abort")
             return False
         if vote == "read_only":
             # No updates anywhere: note completion (unforced) and finish.
@@ -372,6 +384,9 @@ class TransactionManager:
             self.commits += 1
             self._forget(tid)
             self._maybe_checkpoint()
+            self._observe_commit(started, 1 + len(children), "read")
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id, outcome="read_only")
             return True
 
         # Update transaction: force the commit record, then phase two.
@@ -389,7 +404,20 @@ class TransactionManager:
             yield from self._finish_phase_two(state, children)
         self.commits += 1
         self._maybe_checkpoint()
+        self._observe_commit(started, 1 + len(children), "write")
+        if span_id and self.ctx.tracer is not None:
+            self.ctx.tracer.end(span_id, outcome="committed")
         return True
+
+    def _observe_commit(self, started: float, nodes: int,
+                        kind: str) -> None:
+        """Per-protocol commit-path latency (Table 5-7's row naming)."""
+        protocol = f"{nodes}_node_{kind}"
+        self.ctx.metrics.counter(self.node.name,
+                                 f"commit.{protocol}").inc()
+        self.ctx.metrics.histogram(
+            self.node.name, f"commit.{protocol}_ms").observe(
+            self.ctx.now - started)
 
     def _finish_phase_two(self, state: TransactionState,
                           children: list[str]):
@@ -428,6 +456,11 @@ class TransactionManager:
             # caller was off gathering spanning info.
             return "abort"
         state.advance(TxnPhase.PREPARING)
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "2pc.prepare", self.node.name, "TM", tid=tid,
+                children=",".join(children))
         collection = None
         if children:
             collection = self._open_collection("vote", tid, children)
@@ -459,6 +492,8 @@ class TransactionManager:
                 combined = "update"
         if combined != "abort":
             state.read_only = combined == "read_only"
+        if span_id and self.ctx.tracer is not None:
+            self.ctx.tracer.end(span_id, vote=combined)
         return combined
 
     def _open_collection(self, kind: str, tid: TransactionID,
@@ -480,11 +515,25 @@ class TransactionManager:
         return votes.received
 
     def _handle_vote(self, message: Message):
+        if self.ctx.tracer is not None:
+            # Zero-duration span with an explicit cross-node parent: the
+            # subordinate's prepare span caused this vote's arrival.
+            span_id = self.ctx.tracer.begin(
+                "2pc.vote", self.node.name, "TM", tid=message.body["tid"],
+                parent_id=message.trace_parent, voter=message.body["from"],
+                vote=message.body.get("vote", ""))
+            self.ctx.tracer.end(span_id)
         self._record_response("vote", message)
         return
         yield  # pragma: no cover
 
     def _handle_ack(self, message: Message):
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "2pc.ack", self.node.name, "TM", tid=message.body["tid"],
+                parent_id=message.trace_parent, acker=message.body["from"],
+                ack=message.body.get("ack", ""))
+            self.ctx.tracer.end(span_id)
         self._record_response("ack", message)
         return
         yield  # pragma: no cover
@@ -560,6 +609,19 @@ class TransactionManager:
     # -- subordinate side ---------------------------------------------------------------
 
     def _handle_prepare_req(self, message: Message):
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "2pc.prepare_req", self.node.name, "TM",
+                tid=message.body["tid"], parent_id=message.trace_parent,
+                coordinator=message.body["from"])
+        try:
+            yield from self._prepare_req_traced(message)
+        finally:
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id)
+
+    def _prepare_req_traced(self, message: Message):
         tid: TransactionID = message.body["tid"]
         coordinator: str = message.body["from"]
         state = self._states.get(tid)
@@ -641,6 +703,19 @@ class TransactionManager:
         self._send_datagram(coordinator, "tm.vote", {"vote": vote}, tid)
 
     def _handle_commit_req(self, message: Message):
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "2pc.commit_req", self.node.name, "TM",
+                tid=message.body["tid"], parent_id=message.trace_parent,
+                coordinator=message.body["from"])
+        try:
+            yield from self._commit_req_traced(message)
+        finally:
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id)
+
+    def _commit_req_traced(self, message: Message):
         tid: TransactionID = message.body["tid"]
         coordinator: str = message.body["from"]
         state = self._states.get(tid)
@@ -703,6 +778,20 @@ class TransactionManager:
         transaction's state so the child's recovery-time outcome query can
         be answered -- completion then arrives as a stray ack.
         """
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "2pc.phase2", self.node.name, "TM", tid=state.tid,
+                outcome=outcome)
+        try:
+            yield from self._phase_two_traced(state, children, outcome)
+        finally:
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id,
+                                    pending=len(state.pending_acks))
+
+    def _phase_two_traced(self, state: TransactionState,
+                          children: list[str], outcome: str):
         tid = state.tid
         state.pending_acks = set(children)
         collection = None
@@ -727,6 +816,8 @@ class TransactionManager:
         while state.pending_acks and retries < self.max_ack_retries:
             retries += 1
             pending = sorted(state.pending_acks)
+            self.ctx.metrics.counter(
+                self.node.name, "tm.commit_retransmits").inc(len(pending))
             self._open_collection("ack", tid, pending)
             for child in pending:
                 self._send_datagram(child, f"tm.{outcome}_req", {}, tid)
@@ -767,6 +858,10 @@ class TransactionManager:
             # timeout-driven one): nothing left to undo or release.
             return
         tid = state.tid
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.event("2pc.abort", self.node.name, "TM",
+                                  tid=tid, reason=reason)
+        self.ctx.metrics.counter(self.node.name, "tm.aborts").inc()
         for child_tid in sorted(state.children, key=lambda t: len(t.path),
                                 reverse=True):
             child_state = self._states.get(child_tid)

@@ -26,10 +26,12 @@ class WriteAheadLog:
     """LSN assignment + volatile buffering over a :class:`LogStore`."""
 
     def __init__(self, ctx: SimContext, store: LogStore | None = None,
-                 buffer_capacity: int = 512) -> None:
+                 buffer_capacity: int = 512, node_name: str = "") -> None:
         if buffer_capacity < 1:
             raise WriteAheadLogError("log buffer needs capacity >= 1")
         self.ctx = ctx
+        #: which node's metrics/trace track log forces land on
+        self.node_name = node_name
         # Explicit None check: an *empty* LogStore is falsy (it has __len__),
         # and discarding the caller's store would sever log durability.
         self.store = LogStore() if store is None else store
@@ -86,6 +88,12 @@ class WriteAheadLog:
             return
         if not any(r.lsn <= target for r in self._buffer):
             return
+        started = self.ctx.now
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "wal.force", self.node_name, "WAL",
+                target_lsn=target, buffered=len(self._buffer))
         yield self.ctx.charge(Primitive.STABLE_STORAGE_WRITE)
         # Recompute after the I/O wait: a concurrent force may have drained
         # part of the buffer while this one slept, and appending an already
@@ -96,6 +104,11 @@ class WriteAheadLog:
             self.store.append(to_flush)
             self._buffer = [r for r in self._buffer if r.lsn > target]
             self.forces += 1
+        self.ctx.metrics.counter(self.node_name, "wal.forces").inc()
+        self.ctx.metrics.histogram(self.node_name, "wal.force_ms").observe(
+            self.ctx.now - started)
+        if span_id and self.ctx.tracer is not None:
+            self.ctx.tracer.end(span_id, flushed=len(to_flush))
 
     # -- reading (durable prefix only) ----------------------------------------
 

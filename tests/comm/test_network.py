@@ -162,7 +162,7 @@ class TestLinkFaults:
         """A reordered datagram arrives after one sent later."""
         network, nodes, _ = make_pair(ctx)
         arrivals = []
-        network.trace_hook = (
+        network.add_trace_hook(
             lambda t, ev, src, dst, op: arrivals.append((t, ev, op))
             if ev == "recv" else None)
         network.set_link_fault("a", "b", reorder=1.0, reorder_delay_ms=40.0)

@@ -1,0 +1,83 @@
+"""CLI tests for ``python -m repro trace`` / ``metrics`` / report routing."""
+
+import io
+import json
+
+from repro.__main__ import main, write_report
+
+
+class TestWriteReport:
+    def test_resolves_stdout_at_call_time(self, capsys):
+        write_report("hello")
+        assert capsys.readouterr().out == "hello\n"
+
+    def test_no_double_newline(self, capsys):
+        write_report("line\n")
+        assert capsys.readouterr().out == "line\n"
+
+    def test_explicit_stream(self):
+        stream = io.StringIO()
+        write_report("to a file", stream=stream)
+        assert stream.getvalue() == "to a file\n"
+
+
+class TestExistingCommands:
+    def test_inventory_routes_through_write_report(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3-1" in out
+        assert "transaction_manager" in out
+
+    def test_paths_routes_through_write_report(self, capsys):
+        assert main(["paths"]) == 0
+        assert "Longest-path commit counts" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_writes_valid_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "r1", "--iterations", "1",
+                     "--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert {"M", "X"} <= phases
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+
+    def test_rerun_is_byte_identical(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["trace", "r1", "--iterations", "1",
+                         "--out", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_jsonl_output(self, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert main(["trace", "r1", "--iterations", "1",
+                     "--jsonl", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["type"] in ("span", "event")
+                   for line in lines)
+
+    def test_stdout_when_no_out_file(self, capsys):
+        assert main(["trace", "r1", "--iterations", "1"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["otherData"]["clock"] == "simulated"
+
+
+class TestMetricsCommand:
+    def test_renders_tables(self, capsys):
+        assert main(["metrics", "w1", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+        assert "wal.forces" in out
+        assert "Latency histograms (ms)" in out
+
+    def test_json_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", "w1", "--iterations", "1",
+                     "--json", str(out)]) == 0
+        snapshot = json.loads(out.read_text())
+        assert any(key.endswith("/wal.forces")
+                   for key in snapshot["counters"])

@@ -1,0 +1,106 @@
+"""Unit tests for the Chrome-trace and JSONL exporters."""
+
+import json
+
+from repro.obs.export import chrome_trace, chrome_trace_json, jsonl_events, \
+    metrics_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+from tests.obs.test_tracer import FakeEngine
+
+
+def drive(tracer: Tracer, engine: FakeEngine) -> None:
+    """A tiny two-node scripted trace: root, nested work, remote child."""
+    root = tracer.begin_root("T1", "a")
+    engine.now = 1.0
+    ds = tracer.begin("ds:op", "a", "DS", tid="T1")
+    engine.now = 2.5
+    tracer.end(ds)
+    remote = tracer.begin("ds:op", "b", "DS", tid="T1", parent_id=root)
+    engine.now = 4.0
+    tracer.end(remote)
+    tracer.network_event(4.5, "send", "a", "b", "tm.commit_req")
+    tracer.end(root, committed=True)
+    tracer.begin("dangling", "a", "RM")  # left open on purpose
+
+
+def exported():
+    engine = FakeEngine()
+    tracer = Tracer(engine)
+    drive(tracer, engine)
+    return tracer, chrome_trace(tracer)
+
+
+class TestChromeTrace:
+    def test_process_and_thread_metadata(self):
+        _, trace = exported()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["args"]["name"]) for e in meta}
+        assert ("process_name", 1, "node a") in names
+        assert ("process_name", 2, "node b") in names
+        assert ("thread_name", 1, "APP") in names
+        assert ("thread_name", 2, "DS") in names
+
+    def test_timestamps_scaled_to_microseconds(self):
+        _, trace = exported()
+        ds = next(e for e in trace["traceEvents"]
+                  if e["ph"] == "X" and e["name"] == "ds:op"
+                  and e["pid"] == 1)
+        assert ds["ts"] == 1000
+        assert ds["dur"] == 1500
+
+    def test_open_span_closed_at_export_bound(self):
+        tracer, trace = exported()
+        dangling = next(e for e in trace["traceEvents"]
+                        if e.get("name") == "dangling")
+        assert dangling["args"]["open_at_export"] is True
+        # bounded by the newest timestamp in the trace (the net event)
+        assert dangling["ts"] + dangling["dur"] == \
+            int(round(tracer.last_time_ms() * 1000))
+
+    def test_parentage_and_family_survive_export(self):
+        _, trace = exported()
+        spans = {e["args"]["span_id"]: e for e in trace["traceEvents"]
+                 if e["ph"] == "X"}
+        remote = next(e for e in spans.values()
+                      if e["name"] == "ds:op" and e["pid"] == 2)
+        assert spans[remote["args"]["parent_id"]]["name"] == "txn"
+        assert remote["args"]["txn"] == "T1"
+
+    def test_instant_event_shape(self):
+        _, trace = exported()
+        instant = next(e for e in trace["traceEvents"] if e["ph"] == "i")
+        assert instant["name"] == "net.send"
+        assert instant["s"] == "t"
+        assert instant["args"]["op"] == "tm.commit_req"
+
+
+class TestDeterminismAndJsonl:
+    def test_identical_drives_export_identical_bytes(self):
+        payloads = []
+        for _ in range(2):
+            engine = FakeEngine()
+            tracer = Tracer(engine)
+            drive(tracer, engine)
+            payloads.append(chrome_trace_json(tracer))
+        assert payloads[0] == payloads[1]
+        json.loads(payloads[0])  # and it is valid JSON
+
+    def test_jsonl_one_record_per_line_sorted_by_id(self):
+        engine = FakeEngine()
+        tracer = Tracer(engine)
+        drive(tracer, engine)
+        lines = jsonl_events(tracer).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == len(tracer.spans) + len(tracer.events)
+        assert [r["id"] for r in records] == sorted(r["id"] for r in records)
+        assert {r["type"] for r in records} == {"span", "event"}
+
+    def test_metrics_json_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b", "x").inc()
+        registry.counter("a", "x").inc()
+        payload = metrics_json(registry)
+        decoded = json.loads(payload)
+        assert list(decoded["counters"]) == ["a/x", "b/x"]

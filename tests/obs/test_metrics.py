@@ -1,0 +1,63 @@
+"""Unit tests for the per-node metrics registry."""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == 5
+
+    def test_gauge_tracks_high_water(self):
+        gauge = Gauge()
+        gauge.inc(3)
+        gauge.dec(2)
+        gauge.inc(1)
+        assert gauge.value == 2
+        assert gauge.high_water == 3
+        assert gauge.snapshot() == {"value": 2, "max": 3}
+
+    def test_histogram_log2_buckets(self):
+        hist = Histogram()
+        for value, bucket in ((0.0, 0), (0.9, 0), (1.0, 1), (1.9, 1),
+                              (2.0, 2), (3.9, 2), (4.0, 3), (79.0, 7)):
+            before = hist.buckets.get(bucket, 0)
+            hist.observe(value)
+            assert hist.buckets[bucket] == before + 1
+        assert hist.count == 8
+        assert hist.min == 0.0
+        assert hist.max == 79.0
+
+    def test_histogram_mean_and_snapshot(self):
+        hist = Histogram()
+        assert hist.mean == 0.0  # no observations: no division by zero
+        hist.observe(2.0)
+        hist.observe(4.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 2
+        assert snap["mean_ms"] == 3.0
+        assert snap["buckets"] == {"2": 1, "3": 1}
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", "x") is registry.counter("a", "x")
+        assert registry.counter("a", "x") is not registry.counter("b", "x")
+        assert registry.gauge("a", "g") is registry.gauge("a", "g")
+        assert registry.histogram("a", "h") is registry.histogram("a", "h")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b", "z").inc()
+        registry.counter("a", "y").inc(2)
+        registry.gauge("a", "depth").set(4)
+        registry.histogram("a", "lat").observe(1.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a/y", "b/z"]
+        assert snap["counters"]["a/y"] == 2
+        assert snap["gauges"]["a/depth"] == {"value": 4, "max": 4}
+        assert snap["histograms"]["a/lat"]["count"] == 1

@@ -1,0 +1,138 @@
+"""End-to-end flight-recorder guarantees.
+
+Three contracts from the observability work:
+
+1. **Byte determinism** -- two same-seed traced chaos runs export
+   byte-identical Chrome JSON and JSONL (the trace is a pure function of
+   the seed, like everything else in the simulation).
+2. **Non-interference** -- tracing must not perturb the measured run: the
+   Table 5-2/5-3 primitive counts of a traced benchmark equal the
+   untraced ones exactly.
+3. **Completeness** -- the span tree of one distributed write transaction
+   contains the whole causal chain: client call, lock acquisition, log
+   force, 2PC prepare, vote, commit, ack -- across both nodes.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    ChaosWorkload,
+    CrashAt,
+    FaultPlan,
+    PartitionAt,
+)
+from repro.chaos.workload import build_cluster
+from repro.core.config import TabsConfig
+from repro.obs import chrome_trace_json, jsonl_events
+from repro.perf.benchmarks import BENCHMARKS_BY_KEY, run_benchmark
+
+CHAOS_PLAN = FaultPlan.of(
+    CrashAt(300.0, "n1", restart_after_ms=400.0),
+    PartitionAt(900.0, (("n0",), ("n1", "n2")), heal_after_ms=400.0))
+
+
+def traced_chaos_run(seed: int = 2026):
+    cluster = build_cluster(seed=seed)
+    tracer = cluster.enable_tracing()
+    controller = ChaosController(cluster, CHAOS_PLAN, seed=seed)
+    workload = ChaosWorkload(cluster, controller, seed=seed)
+    workload.setup()
+    controller.install()
+    workload.schedule_traffic(transfers=8, spacing_ms=100.0)
+    workload.run(2_500.0)
+    workload.finale()
+    return cluster, tracer
+
+
+class TestByteDeterminism:
+    def test_same_seed_chaos_traces_are_byte_identical(self):
+        (_, tracer_a) = traced_chaos_run(seed=2026)
+        (_, tracer_b) = traced_chaos_run(seed=2026)
+        assert len(tracer_a.spans) > 10, "trace suspiciously empty"
+        assert chrome_trace_json(tracer_a) == chrome_trace_json(tracer_b)
+        assert jsonl_events(tracer_a) == jsonl_events(tracer_b)
+
+    def test_different_seed_diverges(self):
+        (_, tracer_a) = traced_chaos_run(seed=2026)
+        (_, tracer_b) = traced_chaos_run(seed=2027)
+        assert chrome_trace_json(tracer_a) != chrome_trace_json(tracer_b)
+
+
+def run_w1w1(traced: bool):
+    captured = []
+
+    def instrument(cluster):
+        captured.append(cluster)
+        if traced:
+            cluster.enable_tracing()
+
+    result = run_benchmark(BENCHMARKS_BY_KEY["w1w1"],
+                           TabsConfig(seed=1985), iterations=3,
+                           instrument=instrument)
+    return result, captured[0]
+
+
+@pytest.fixture(scope="module")
+def w1w1_traced():
+    return run_w1w1(traced=True)
+
+
+class TestNonInterference:
+    def test_primitive_counts_identical_traced_vs_untraced(self, w1w1_traced):
+        """Tracing on must leave Tables 5-2/5-3 byte-for-byte unchanged."""
+        traced_result, _ = w1w1_traced
+        untraced_result, _ = run_w1w1(traced=False)
+        assert traced_result.precommit_counts == \
+            untraced_result.precommit_counts
+        assert traced_result.commit_counts == untraced_result.commit_counts
+        assert traced_result.elapsed_ms == untraced_result.elapsed_ms
+        assert traced_result.tabs_process_ms == \
+            untraced_result.tabs_process_ms
+
+    def test_metrics_registry_identical_traced_vs_untraced(self, w1w1_traced):
+        from repro.obs import metrics_json
+
+        _, traced_cluster = w1w1_traced
+        _, untraced_cluster = run_w1w1(traced=False)
+        assert metrics_json(traced_cluster.metrics) == \
+            metrics_json(untraced_cluster.metrics)
+
+
+class TestSpanTreeCompleteness:
+    def test_distributed_write_has_the_full_causal_chain(self, w1w1_traced):
+        _, cluster = w1w1_traced
+        tracer = cluster.ctx.tracer
+        # Find a committed transaction family rooted in a txn span.
+        roots = [span for span in tracer.spans
+                 if span.name == "txn" and span.attrs.get("committed")]
+        assert roots, "no committed txn root span recorded"
+        root = roots[0]
+        family = [span for span in tracer.spans
+                  if span.family == root.family]
+        names = {span.name for span in family}
+        for required in ("txn", "rpc:set_cell", "ds:set_cell",
+                         "lock.acquire", "rm.spool", "2pc.commit",
+                         "2pc.prepare", "2pc.prepare_req", "2pc.vote",
+                         "rm.force_status", "wal.force", "2pc.phase2",
+                         "2pc.commit_req", "2pc.ack"):
+            assert required in names, f"span {required!r} missing"
+        # Both nodes participate in the one family tree.
+        assert {span.node for span in family} == {"node0", "node1"}
+        # Every family span reaches the root by walking parent links.
+        by_id = {span.span_id: span for span in family}
+        for span in family:
+            current = span
+            hops = 0
+            while current.span_id != root.span_id:
+                assert current.parent_id in by_id, \
+                    f"{current.name} detached from the family tree"
+                current = by_id[current.parent_id]
+                hops += 1
+                assert hops < 50
+        # The cross-node hop: node1's prepare_req parents into node0's
+        # prepare span; node0's vote parents into node1's prepare_req.
+        prepare_req = next(s for s in family if s.name == "2pc.prepare_req")
+        assert by_id[prepare_req.parent_id].node == "node0"
+        vote = next(s for s in family if s.name == "2pc.vote")
+        assert by_id[vote.parent_id].node == "node1"

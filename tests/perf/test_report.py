@@ -1,0 +1,54 @@
+"""Report-boundary rendering: fraction rounding and the metrics tables."""
+
+from repro.kernel.costs import CostMeter, Phase, Primitive, round_count
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.report import _fmt, render_metrics
+
+
+class TestRoundCount:
+    def test_half_even_at_two_decimals(self):
+        # 0.125 is exactly representable in binary: a true tie.
+        assert round_count(0.125) == 0.12
+        assert round_count(0.375) == 0.38
+        assert round_count(0.865) in (0.86, 0.87)  # not a binary tie
+
+    def test_meter_keeps_exact_fractions_internally(self):
+        meter = CostMeter()
+        meter.phase = Phase.COMMIT
+        for _ in range(3):
+            meter.record(Primitive.STABLE_STORAGE_WRITE, 79.0, fraction=0.5)
+        assert meter.count(Primitive.STABLE_STORAGE_WRITE) == 1.5
+        assert round_count(meter.count(Primitive.STABLE_STORAGE_WRITE)) == 1.5
+
+
+class TestFmt:
+    def test_floating_point_dust_renders_as_integer(self):
+        assert _fmt(3.0000000000004) == "3"
+        assert _fmt(2.9999999999996) == "3"
+
+    def test_true_fractions_keep_two_decimals(self):
+        assert _fmt(0.86) == "0.86"
+        assert _fmt(1.5) == "1.50"
+
+    def test_none_and_exact_ints(self):
+        assert _fmt(None) == "?"
+        assert _fmt(4.0) == "4"
+
+
+class TestRenderMetrics:
+    def test_sections_render_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("n1", "wal.forces").inc(2)
+        registry.counter("n0", "wal.forces").inc(1)
+        registry.gauge("n0", "lock.wait_depth").set(3)
+        registry.histogram("n0", "wal.force_ms").observe(79.0)
+        text = render_metrics(registry)
+        assert "Counters" in text
+        assert "Gauges" in text
+        assert "Latency histograms (ms)" in text
+        counter_lines = [line for line in text.splitlines()
+                         if "wal.forces" in line]
+        assert [line.split()[0] for line in counter_lines] == ["n0", "n1"]
+
+    def test_empty_registry(self):
+        assert render_metrics(MetricsRegistry()) == "no metrics recorded"
