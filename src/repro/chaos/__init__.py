@@ -4,8 +4,10 @@ The chaos harness has three layers:
 
 - :mod:`repro.chaos.plan` -- declarative, immutable fault schedules
   (:class:`FaultPlan`) built from timed actions (crash, restart,
-  partition, link faults, disk slowdowns) and log-triggered crashes
-  (:class:`CrashWhenLogged`, for hitting exact commit-protocol windows);
+  partition, link faults, disk slowdowns, storage corruption: torn
+  writes, bit rot, lost writes, log-sector rot) and log-triggered
+  crashes (:class:`CrashWhenLogged`, for hitting exact commit-protocol
+  windows);
 - :mod:`repro.chaos.controller` -- :class:`ChaosController` installs a
   plan onto a live cluster, records a deterministic event trace, and
   provides repair/quiescence helpers;
@@ -19,6 +21,7 @@ regression tests assert trace-for-trace equality across reruns.
 
 from repro.chaos.controller import ChaosController
 from repro.chaos.plan import (
+    BitRotAt,
     CrashAt,
     CrashWhenLogged,
     DiskSlowdown,
@@ -26,8 +29,11 @@ from repro.chaos.plan import (
     FaultPlan,
     HealAt,
     LinkFaultWindow,
+    LogSectorRotAt,
+    LostWriteAt,
     PartitionAt,
     RestartAt,
+    TornWriteAt,
     random_plan,
 )
 from repro.chaos.workload import (
@@ -38,6 +44,7 @@ from repro.chaos.workload import (
 )
 
 __all__ = [
+    "BitRotAt",
     "ChaosController",
     "ChaosWorkload",
     "CrashAt",
@@ -47,8 +54,11 @@ __all__ = [
     "FaultPlan",
     "HealAt",
     "LinkFaultWindow",
+    "LogSectorRotAt",
+    "LostWriteAt",
     "PartitionAt",
     "RestartAt",
+    "TornWriteAt",
     "TxnRecord",
     "WorkloadStats",
     "build_cluster",

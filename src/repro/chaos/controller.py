@@ -14,14 +14,18 @@ from __future__ import annotations
 import random
 
 from repro.chaos.plan import (
+    BitRotAt,
     CrashAt,
     CrashWhenLogged,
     DiskSlowdown,
     FaultPlan,
     HealAt,
     LinkFaultWindow,
+    LogSectorRotAt,
+    LostWriteAt,
     PartitionAt,
     RestartAt,
+    TornWriteAt,
 )
 from repro.errors import TabsError
 from repro.sim import Process, Timeout
@@ -54,6 +58,11 @@ class ChaosController:
             # The observer list survives rebuilds, so detections keep
             # landing in the trace across crash/recovery cycles.
             tabs_node.fd_observers.append(self._detector_event)
+            # The disk survives restarts too: one registration is enough
+            # for every checksum detection the node ever trips.
+            tabs_node.node.disk.on_corruption.append(
+                lambda segment_id, page, node=name:
+                self.record("corruption", node, segment_id, page))
 
     # -- trace -------------------------------------------------------------------
 
@@ -126,6 +135,18 @@ class ChaosController:
                                  lambda a=action: self._disk(a, a.factor))
             self.engine.schedule(action.end_ms,
                                  lambda a=action: self._disk(a, 1.0))
+        elif isinstance(action, TornWriteAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._torn_write(a))
+        elif isinstance(action, BitRotAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._bit_rot(a))
+        elif isinstance(action, LostWriteAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._lost_write(a))
+        elif isinstance(action, LogSectorRotAt):
+            self.engine.schedule(action.at_ms,
+                                 lambda a=action: self._log_rot(a))
         elif isinstance(action, CrashWhenLogged):
             watcher = Process(self.engine, self._watch(action),
                               name=f"chaos:watch:{action.crash_node}")
@@ -183,9 +204,78 @@ class ChaosController:
                                       both_ways=action.both_ways)
         self.record("link-heal", action.source, action.target)
 
+    def _node_disk(self, name: str):
+        """The one sanctioned path to a node's disk for fault injection.
+
+        The disk object is durable (it survives crash/restart cycles), so
+        handlers, corruption installers, and :meth:`repair_all` all reach
+        it through here rather than each spelling out the attribute chain.
+        """
+        return self.cluster.node(name).node.disk
+
     def _disk(self, action: DiskSlowdown, factor: float) -> None:
-        self.cluster.node(action.node).node.disk.latency_factor = factor
+        self._node_disk(action.node).latency_factor = factor
         self.record("disk-latency", action.node, factor)
+
+    # -- storage corruption ----------------------------------------------------------
+
+    def _pick_page(self, disk, segment_id: str, page: int | None):
+        """Resolve a corruption target: explicit, or a deterministic draw
+        from the controller's seeded RNG over the written sectors."""
+        if page is not None and segment_id:
+            return (segment_id, page)
+        keys = [key for key in disk.page_keys()
+                if not segment_id or key[0] == segment_id]
+        if not keys:
+            return None
+        return keys[self.rng.randrange(len(keys))]
+
+    def _torn_write(self, action: TornWriteAt) -> None:
+        """Power failure mid-write: tear the in-flight data sector and the
+        oldest buffered log record, then crash the node."""
+        tabs_node = self.cluster.node(action.node)
+        if not tabs_node.node.alive:
+            return
+        torn_key = self._node_disk(action.node).tear_last_write()
+        torn_lsn = tabs_node.rm.wal.tear_inflight_force()
+        self.record("torn-write", action.node,
+                    f"{torn_key[0]}:{torn_key[1]}" if torn_key else "-",
+                    torn_lsn if torn_lsn is not None else -1)
+        self._crash(action.node, action.restart_after_ms)
+
+    def _bit_rot(self, action: BitRotAt) -> None:
+        disk = self._node_disk(action.node)
+        target = self._pick_page(disk, action.segment_id, action.page)
+        if target is None or not disk.rot_page(*target, salt=action.salt):
+            self.record("bit-rot-skipped", action.node)
+            return
+        self.record("bit-rot", action.node, target[0], target[1])
+
+    def _lost_write(self, action: LostWriteAt) -> None:
+        disk = self._node_disk(action.node)
+        target = self._pick_page(disk, action.segment_id, action.page)
+        if target is None:
+            self.record("lost-write-skipped", action.node)
+            return
+        disk.arm_lost_write(*target)
+        self.record("lost-write-armed", action.node, target[0], target[1])
+
+    def _log_rot(self, action: LogSectorRotAt) -> None:
+        store = self.cluster.node(action.node).log_store
+        lsn = action.lsn
+        if lsn is None:
+            durable = [record.lsn for record in
+                       store.read_forward(store.truncated_before)]
+            if not durable:
+                self.record("log-rot-skipped", action.node)
+                return
+            lsn = durable[self.rng.randrange(len(durable))]
+        if store.rot_media(lsn, copy=action.copy,
+                           both_copies=action.both_copies):
+            self.record("log-rot", action.node, lsn, action.copy,
+                        action.both_copies)
+        else:
+            self.record("log-rot-skipped", action.node)
 
     # -- triggered crashes ----------------------------------------------------------
 
@@ -262,7 +352,9 @@ class ChaosController:
                 self.record("watch-disarmed", watcher.name)
         restarts = []
         for name, tabs_node in self.cluster.nodes.items():
-            tabs_node.node.disk.latency_factor = 1.0
+            disk = self._node_disk(name)
+            disk.latency_factor = 1.0
+            disk.clear_armed_faults()
             if not tabs_node.node.alive:
                 process = self._spawn_restart(name)
                 if process is not None:

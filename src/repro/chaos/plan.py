@@ -79,6 +79,63 @@ class DiskSlowdown:
 
 
 @dataclass(frozen=True)
+class TornWriteAt:
+    """Power-fail ``node`` at ``at_ms`` mid-write: the last written data
+    sector is torn (partial image under a full-image checksum) and the
+    oldest buffered log record reaches both log disks half-written, then
+    the node crashes.  Recovery's salvage scan truncates the torn log
+    tail; the scrub repairs the torn data page from the archive."""
+
+    at_ms: float
+    node: str
+    restart_after_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class BitRotAt:
+    """Decay one stored value of a data page on ``node`` at ``at_ms``.
+
+    With ``page`` None the controller picks a written page of the node's
+    segments deterministically from its seeded RNG.  The next read of the
+    page trips :class:`~repro.errors.PageCorruption` and the node's
+    supervisor repairs it from archive + log roll-forward."""
+
+    at_ms: float
+    node: str
+    segment_id: str = ""
+    page: int | None = None
+    salt: int = 1
+
+
+@dataclass(frozen=True)
+class LostWriteAt:
+    """Arm a lost write on ``node`` at ``at_ms``: the next write-back of
+    the chosen page is acknowledged but its data never lands (the
+    separately-written header metadata does, so reads detect it)."""
+
+    at_ms: float
+    node: str
+    segment_id: str = ""
+    page: int | None = None
+
+
+@dataclass(frozen=True)
+class LogSectorRotAt:
+    """Bit-rot one log-disk copy of a durable record on ``node``.
+
+    With ``lsn`` None the controller picks a durable record
+    deterministically.  Single-copy rot is repaired from the mirror by
+    the duplexed read path; ``both_copies`` (real log loss) is reserved
+    for tests -- random plans never set it on acknowledged records."""
+
+    at_ms: float
+    node: str
+    lsn: int | None = None
+    copy: int = 0
+    both_copies: bool = False
+
+
+@dataclass(frozen=True)
 class CrashWhenLogged:
     """Crash ``crash_node`` when the durable logs reach a protocol point.
 
@@ -110,7 +167,8 @@ class CrashWhenLogged:
 
 
 FaultAction = (CrashAt | RestartAt | PartitionAt | HealAt | LinkFaultWindow
-               | DiskSlowdown | CrashWhenLogged)
+               | DiskSlowdown | TornWriteAt | BitRotAt | LostWriteAt
+               | LogSectorRotAt | CrashWhenLogged)
 
 
 @dataclass(frozen=True)
@@ -133,18 +191,23 @@ class FaultPlan:
 def random_plan(seed: int, nodes: list[str], duration_ms: float,
                 episodes: int = 4,
                 crash_weight: int = 4, partition_weight: int = 2,
-                link_weight: int = 2, disk_weight: int = 1) -> FaultPlan:
+                link_weight: int = 2, disk_weight: int = 1,
+                corruption_weight: int = 0) -> FaultPlan:
     """A reproducible random torture schedule over ``nodes``.
 
     Every episode is a bounded fault-and-repair pair (crash+restart,
     partition+heal, a link-fault window, or a disk slowdown), so the plan
     always returns the cluster to a repairable state for the post-run
-    invariant checks.  The same ``(seed, nodes, duration_ms, ...)`` always
-    yields the same plan.
+    invariant checks.  ``corruption_weight`` (default 0, so historical
+    seeds reproduce byte-identically) adds storage-corruption episodes:
+    torn writes at a crash, bit rot on a data page, an armed lost write,
+    or single-copy log-sector rot.  The same ``(seed, nodes,
+    duration_ms, ...)`` always yields the same plan.
     """
     rng = random.Random(seed)
     kinds = (["crash"] * crash_weight + ["partition"] * partition_weight
-             + ["link"] * link_weight + ["disk"] * disk_weight)
+             + ["link"] * link_weight + ["disk"] * disk_weight
+             + ["corrupt"] * corruption_weight)
     actions: list[FaultAction] = []
     for _ in range(episodes):
         kind = rng.choice(kinds)
@@ -153,6 +216,22 @@ def random_plan(seed: int, nodes: list[str], duration_ms: float,
         if kind == "crash":
             actions.append(CrashAt(start, rng.choice(nodes),
                                    restart_after_ms=window))
+        elif kind == "corrupt":
+            node = rng.choice(nodes)
+            flavour = rng.choice(["torn", "rot", "lost", "log-rot"])
+            if flavour == "torn":
+                actions.append(TornWriteAt(start, node,
+                                           restart_after_ms=window))
+            elif flavour == "rot":
+                actions.append(BitRotAt(start, node,
+                                        salt=rng.randrange(1, 1 << 16)))
+            elif flavour == "lost":
+                actions.append(LostWriteAt(start, node))
+            else:
+                # Single-copy rot only: both-copy rot of an acknowledged
+                # record is unrecoverable data loss, not a survivable fault.
+                actions.append(LogSectorRotAt(start, node,
+                                              copy=rng.randrange(2)))
         elif kind == "partition":
             if len(nodes) < 2:
                 continue

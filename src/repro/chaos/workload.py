@@ -17,6 +17,10 @@ that the TABS guarantees held:
   decided (:func:`audit_committed_values`);
 - **drainage**: no lock, lock waiter, or service-port backlog survives
   quiescence (:func:`audit_drainage`);
+- **storage integrity**: after repair, every disk sector passes its
+  payload checksum and the duplexed log media verifies on both copies
+  (:func:`audit_storage_integrity`) -- injected corruption never
+  survives latently;
 - **queue integrity** (when enabled): a committed enqueue's item is
   drained exactly once; an aborted enqueue's item never appears.
 
@@ -41,6 +45,7 @@ from repro.recovery.audit import (
     audit_client_commits,
     audit_committed_values,
     audit_drainage,
+    audit_storage_integrity,
 )
 from repro.servers.int_array import IntegerArrayServer
 from repro.servers.weak_queue import QueueEmpty, WeakQueueServer
@@ -142,6 +147,29 @@ class ChaosWorkload:
             if server_name in tabs_node.servers:
                 return node_name
         raise KeyError(server_name)
+
+    def schedule_archive_dumps(self, at_ms: float = 0.0) -> None:
+        """Dump every node's segments to its off-line archive at ``at_ms``.
+
+        Opt-in (dump events shift the timeline, so historical seeds stay
+        byte-identical without it).  Corruption scenarios want an archive:
+        it is the base image single-page media repair restores before
+        rolling the log forward.
+        """
+        for name in sorted(self.cluster.nodes):
+            self.engine.schedule(at_ms, lambda n=name: self._spawn_dump(n))
+
+    def _spawn_dump(self, name: str) -> None:
+        tabs_node = self.cluster.node(name)
+        if not tabs_node.node.alive:
+            return
+        tabs_node.node.spawn(self._dump(name), name="chaos-archive-dump",
+                             defused=True)
+
+    def _dump(self, name: str):
+        tabs_node = self.cluster.node(name)
+        archive_lsn = yield from tabs_node.archive_dump_generator()
+        self.controller.record("archive-dump", name, archive_lsn)
 
     # -- randomized traffic ---------------------------------------------------------
 
@@ -298,6 +326,7 @@ class ChaosWorkload:
             history=history))
         for tabs_node in self.cluster.nodes.values():
             report.extend(audit_committed_values(tabs_node))
+            report.extend(audit_storage_integrity(tabs_node))
         report.extend(self._check_conservation())
         if self.has_queue:
             report.extend(self._check_queue())

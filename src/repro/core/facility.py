@@ -136,11 +136,17 @@ class TabsNode:
         media_bound = None
         if media_restore_segments:
             self.archive.restore(self.node.disk, media_restore_segments)
-            media_bound = self.archive.archive_lsn + 1
+            # Roll forward over the whole retained log: the archived
+            # image may hold uncommitted values stolen by the dump's
+            # flush, whose undo records sit below ``archive_lsn``.
+            media_bound = self.rm.wal.store.truncated_before
         report = yield from recover_node(
             self.rm, self.tm,
             {name: server.library for name, server in self.servers.items()},
-            media_bound=media_bound)
+            media_bound=media_bound,
+            archive=self.archive,
+            segment_ids=[server.segment_id
+                         for server in self.servers.values()])
         self.last_recovery = report
         for server in self.servers.values():
             yield from server.on_recovered()

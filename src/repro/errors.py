@@ -50,6 +50,26 @@ class PageFault(KernelError):
     """Internal signal: a referenced page is not resident."""
 
 
+class PageCorruption(KernelError):
+    """A disk page failed its payload-checksum verification on read.
+
+    Raised by :meth:`repro.kernel.disk.Disk.read_page` when the stored
+    per-page checksum does not match the page contents -- bit rot, a torn
+    write, a lost write, or a misdirected write left the sector
+    inconsistent.  Carries the page identity so media repair can target it.
+    """
+
+    def __init__(self, segment_id: str, page: int, reason: str = ""):
+        super().__init__(segment_id, page, reason)
+        self.segment_id = segment_id
+        self.page = page
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"page ({self.segment_id!r}, {self.page}) failed checksum"
+                f"{': ' + self.reason if self.reason else ''}")
+
+
 class CommunicationError(TabsError):
     """The Communication Manager detected a permanent failure."""
 
@@ -101,6 +121,24 @@ class LogFull(WriteAheadLogError):
 
 class WalCodecError(WriteAheadLogError):
     """A log record could not be encoded or decoded (corrupt/truncated)."""
+
+
+class LogMediaCorruption(WriteAheadLogError):
+    """A durable log record is unreadable on *both* mirrored log disks.
+
+    The duplexed log repairs a single-copy checksum failure from the good
+    copy; both copies failing on a record below the durable tail means real
+    log loss, which no amount of salvage can hide.
+    """
+
+    def __init__(self, lsn: int, reason: str = ""):
+        super().__init__(lsn, reason)
+        self.lsn = lsn
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"log record lsn={self.lsn} unreadable on both log disks"
+                f"{': ' + self.reason if self.reason else ''}")
 
 
 class RecoveryError(TabsError):

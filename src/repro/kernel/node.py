@@ -31,7 +31,7 @@ class Node:
         self.alive = True
         #: incremented on every restart; lets peers detect reincarnation
         self.epoch = 0
-        self.disk = Disk(ctx, name=f"{name}.disk")
+        self.disk = Disk(ctx, name=f"{name}.disk", node_name=name)
         self.vm_capacity_pages = vm_capacity_pages
         self.vm = VirtualMemory(ctx, self.disk, vm_capacity_pages)
         self._processes: list[Process] = []

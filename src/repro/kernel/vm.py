@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import KernelError
+from repro.errors import KernelError, PageCorruption
 from repro.kernel.context import SimContext
 from repro.kernel.disk import PAGE_SIZE, Disk
 
@@ -154,6 +154,12 @@ class VirtualMemory:
         self.disk = disk
         self.capacity_pages = capacity_pages
         self.pager_client: PagerClient = NullPagerClient()
+        #: media-repair hook: ``generator(segment_id, page) -> bool``.  The
+        #: facility's RecoverySupervisor installs one; a page fault whose
+        #: disk read trips :class:`PageCorruption` runs it and retries the
+        #: read once when it reports the page repaired.  None (bare kernel)
+        #: lets the corruption propagate.
+        self.media_repairer = None
         self._segments: dict[str, RecoverableSegment] = {}
         self._frames: dict[tuple[str, int], Frame] = {}
         self._lru: dict[tuple[str, int], None] = {}  # insertion-ordered set
@@ -205,7 +211,19 @@ class VirtualMemory:
             self.faults += 1
             while len(self._frames) >= self.capacity_pages:
                 yield from self._evict_one()
-            data = yield from self.disk.read_page(segment_id, page)
+            try:
+                data = yield from self.disk.read_page(segment_id, page)
+            except PageCorruption:
+                # Graceful degradation: let the media repairer rebuild the
+                # page (archived base + log roll-forward), then retry the
+                # read once.  A second failure -- or no repairer -- means
+                # the corruption propagates to the faulting operation.
+                if self.media_repairer is None:
+                    raise
+                repaired = yield from self.media_repairer(segment_id, page)
+                if not repaired:
+                    raise
+                data = yield from self.disk.read_page(segment_id, page)
             # Re-check after the I/O wait: another coroutine may have
             # faulted the same page in concurrently, and replacing its
             # frame would discard its pins and dirty data.

@@ -63,3 +63,31 @@ class Archive:
                     f"segment {segment_id!r} is not in the archive")
             disk.restore_segment(segment_id, self.pages[segment_id],
                                  self.headers.get(segment_id, {}))
+
+    # -- single-page media repair -----------------------------------------------
+
+    def covers(self, segment_id: str) -> bool:
+        """Is the segment in the archive at all?"""
+        return segment_id in self.pages
+
+    def has_page(self, segment_id: str, page: int) -> bool:
+        return page in self.pages.get(segment_id, {})
+
+    def page_image(self, segment_id: str,
+                   page: int) -> tuple[dict[int, object], int]:
+        """One archived page's (data, header) -- the base image that
+        single-page repair rolls forward from ``archive_lsn``.
+
+        A page absent from an archived segment was first written *after*
+        the dump; its base image is empty and its whole history lies in
+        records above ``archive_lsn``, so the empty base is exact.
+        """
+        data = dict(self.pages.get(segment_id, {}).get(page, {}))
+        header = self.headers.get(segment_id, {}).get(page, 0)
+        return data, header
+
+    def restore_page(self, disk: Disk, segment_id: str, page: int) -> None:
+        """Install one archived page image (cost-free, like
+        :meth:`restore`; crash-recovery scrubs use it before replay)."""
+        data, header = self.page_image(segment_id, page)
+        disk.restore_segment(segment_id, {page: data}, {page: header})

@@ -18,6 +18,9 @@ Audits provided:
   newest winning log record (no committed-then-lost writes).
 - :func:`audit_drainage` -- after quiescence, no lock is still held, no
   lock waiter is queued, and no service port holds unprocessed messages.
+- :func:`audit_storage_integrity` -- every disk sector passes its payload
+  checksum and every log record's duplexed media verifies on both copies
+  (injected corruption was detected and repaired, never left latent).
 """
 
 from __future__ import annotations
@@ -223,6 +226,35 @@ def audit_committed_values(tabs_node) -> list[AuditViolation]:
 def _page_size() -> int:
     from repro.kernel.disk import PAGE_SIZE
     return PAGE_SIZE
+
+
+# -- storage integrity ------------------------------------------------------------
+
+
+def audit_storage_integrity(tabs_node) -> list[AuditViolation]:
+    """Every durable byte must verify after repair + quiescence.
+
+    Two sweeps: (1) every disk sector holding data or metadata passes its
+    payload checksum -- injected bit rot, torn writes, and lost writes
+    were all detected and scrubbed or repaired, none left latent to bite
+    a later reader; (2) the duplexed log media verifies on both copies
+    for every durable record -- single-copy rot was repaired from the
+    mirror, the torn tail was salvaged away.
+    """
+    violations = []
+    disk = tabs_node.node.disk
+    for segment_id, page in disk.page_keys():
+        if not disk.verify_page(segment_id, page):
+            violations.append(AuditViolation(
+                "latent-corruption", node=tabs_node.name,
+                detail=f"sector {segment_id}:{page} fails its checksum "
+                       "after repair and quiescence"))
+    if not tabs_node.log_store.media_intact():
+        violations.append(AuditViolation(
+            "log-media-corruption", node=tabs_node.name,
+            detail="a durable log record's media fails verification on "
+                   "at least one duplex copy"))
+    return violations
 
 
 # -- drainage --------------------------------------------------------------------

@@ -3,6 +3,12 @@
 After a crash, the facility restarts the node's TABS processes, the data
 servers re-map their segments and re-attach, and then this driver runs:
 
+0. **Log salvage**: the duplexed log verifies both media copies, repairs
+   single-copy damage, and truncates the tail at the first record
+   unreadable on both copies (a torn force) -- before any record is
+   trusted.  Then a **media scrub** checks every attached page's payload
+   checksum and restores corrupt pages from the archive so replay reads
+   clean bases.
 1. **Analysis** over the durable log.
 2. **Value pass** (backward) restoring value-logged objects.
 3. **Operation passes** (redo history, undo losers) for operation-logged
@@ -13,6 +19,11 @@ servers re-map their segments and re-attach, and then this driver runs:
    Coordinator-side committed-but-unacknowledged transactions get their
    phase two re-driven.
 5. **Clean point**: flush every recovered page, checkpoint, truncate.
+
+:func:`repair_page` is the *live* half of media recovery: single-page
+repair (archived base image + log roll-forward) for a running node that
+trips :class:`~repro.errors.PageCorruption`, driven by the
+:class:`~repro.recovery.supervisor.RecoverySupervisor`.
 """
 
 from __future__ import annotations
@@ -42,6 +53,12 @@ class RecoveryReport:
     prepared_restored: list[TransactionID] = field(default_factory=list)
     phase_two_redriven: list[TransactionID] = field(default_factory=list)
     log_records_scanned: int = 0
+    #: single-copy log-media failures repaired from the mirror
+    log_duplex_repairs: int = 0
+    #: durable records dropped by the salvage tail truncation
+    log_records_salvaged: int = 0
+    #: corrupt data pages restored from the archive by the media scrub
+    pages_scrubbed: int = 0
 
 
 def _prepared_root(plan: RecoveryPlan, tid: TransactionID):
@@ -56,14 +73,38 @@ def _prepared_root(plan: RecoveryPlan, tid: TransactionID):
     return None
 
 
+def scrub_media(node, archive, segment_ids: list[str]) -> list[tuple]:
+    """Restore every corrupt page of the named segments from the archive.
+
+    Cost-free, like :meth:`Archive.restore` (the scrub's page reads are
+    folded into recovery's replay I/O).  A corrupt page outside archive
+    coverage is wiped to an empty base -- exact only when the log still
+    reaches back to LSN 1, which the caller's replay bound accounts for.
+    Returns the ``(segment_id, page)`` keys scrubbed.
+    """
+    scrubbed = []
+    for segment_id in segment_ids:
+        for page in node.disk.corrupt_pages(segment_id):
+            if archive is not None and not archive.empty:
+                archive.restore_page(node.disk, segment_id, page)
+            else:
+                node.disk.restore_segment(segment_id, {page: {}}, {page: 0})
+            scrubbed.append((segment_id, page))
+    return scrubbed
+
+
 def recover_node(rm: RecoveryManager, tm: TransactionManager,
-                 server_libraries: dict, media_bound: int | None = None):
+                 server_libraries: dict, media_bound: int | None = None,
+                 archive=None, segment_ids: list[str] | None = None):
     """Run full crash recovery for one node (generator).
 
     ``server_libraries`` maps server name to its
     :class:`~repro.server.library.DataServerLibrary` (already attached).
     ``media_bound`` (media recovery) forces the value pass to replay from
-    the archive position instead of the checkpoint bound.
+    the archive position instead of the checkpoint bound.  ``archive`` and
+    ``segment_ids`` enable the storage-integrity front end: log salvage
+    plus a page-checksum scrub that restores corrupt pages from the
+    archive before replay trusts the disk image.
     Returns a :class:`RecoveryReport`.
     """
     node = rm.node
@@ -73,6 +114,28 @@ def recover_node(rm: RecoveryManager, tm: TransactionManager,
         span_id = ctx.tracer.begin("recovery.replay", node.name, "RECOVERY",
                                    epoch=node.epoch)
     report = RecoveryReport()
+
+    # -- storage integrity: salvage the log, scrub the data pages -------------
+    salvage = rm.wal.store.salvage()
+    report.log_duplex_repairs = salvage.repairs
+    report.log_records_salvaged = salvage.dropped_records
+    scrubbed = scrub_media(node, archive, segment_ids or [])
+    report.pages_scrubbed = len(scrubbed)
+    if scrubbed:
+        for _ in scrubbed:
+            ctx.metrics.counter(node.name, "disk.corruption_detected").inc()
+            ctx.metrics.counter(node.name, "media.page_repairs").inc()
+        # The scrubbed bases are archive images (or empty): replay must
+        # roll forward over the whole retained log, not just past the
+        # archive position -- the dump's flush steals uncommitted dirty
+        # pages into the archive, and the undo records of those in-flight
+        # transactions sit *below* ``archive_lsn``.  Retention pins every
+        # unresolved transaction's first record, so ``truncated_before``
+        # always reaches back far enough.
+        scrub_bound = rm.wal.store.truncated_before
+        media_bound = (scrub_bound if media_bound is None
+                       else min(media_bound, scrub_bound))
+
     records = rm.wal.read_forward(rm.wal.store.truncated_before)
     plan = analyze(records)
     report.log_records_scanned = len(records)
@@ -155,5 +218,85 @@ def recover_node(rm: RecoveryManager, tm: TransactionManager,
             operations_redone=report.operations_redone,
             operations_undone=report.operations_undone,
             prepared_restored=len(report.prepared_restored),
-            phase_two_redriven=len(report.phase_two_redriven))
+            phase_two_redriven=len(report.phase_two_redriven),
+            log_duplex_repairs=report.log_duplex_repairs,
+            log_records_salvaged=report.log_records_salvaged,
+            pages_scrubbed=report.pages_scrubbed)
     return report
+
+
+# -- single-page media repair (live) --------------------------------------------
+
+
+def repair_page(rm: RecoveryManager, archive, disk, segment_id: str,
+                page: int):
+    """Repair one corrupt page on a *running* node (generator).
+
+    Restores the archived base image and rolls it forward from
+    ``archive_lsn`` using the durable log, mirroring the value pass's
+    latest-wins semantics page-locally; the repaired image (with a fresh
+    checksum) is written back through one charged page write.  Returns:
+
+    - ``"repaired"`` -- the page verifies again;
+    - ``"escalate"`` -- an operation-logged record touches the page in the
+      roll-forward window; single-page value replay cannot reconstruct it,
+      so the caller must fall back to full node recovery (whose scrub +
+      three-pass algorithm handles operation logging);
+    - ``"unrepairable"`` -- the log no longer reaches back to the base
+      image's position (no archive and a truncated log).
+    """
+    from repro.recovery.analysis import analyze
+
+    store = rm.wal.store
+    base_data: dict[int, object] = {}
+    base_header = 0
+    if archive is not None and not archive.empty and \
+            archive.covers(segment_id):
+        base_data, base_header = archive.page_image(segment_id, page)
+    elif store.truncated_before > 1:
+        # No archived base and the log no longer reaches LSN 1: an empty
+        # base plus a partial roll-forward would fabricate history.
+        return "unrepairable"
+    # Roll forward over the whole retained log, not just past the archive
+    # position: the archived base may hold uncommitted values stolen by
+    # the dump's flush, whose undo records sit below ``archive_lsn``
+    # (retention pins every unresolved transaction's first record).
+    records = store.read_forward(store.truncated_before)
+    plan = analyze(records)
+
+    image = dict(base_data)
+    header = base_header
+    decided: dict = {}
+    # Backward latest-wins over the roll-forward window, page-locally --
+    # the same decision procedure as the value pass (committed/prepared
+    # redo wins; losers unwind to their oldest old value; compensation
+    # records replay and keep unwinding beneath).
+    for record in reversed(records):
+        if isinstance(record, OperationRecord):
+            if any(oid is not None and oid.segment_id == segment_id
+                   and page in oid.pages() for oid in record.oids):
+                return "escalate"
+            continue
+        if (not isinstance(record, ValueUpdateRecord)
+                or record.oid is None
+                or record.oid.segment_id != segment_id
+                or page not in record.oid.pages()):
+            continue
+        oid = record.oid
+        header = max(header, record.lsn)
+        if decided.get(oid) == "winner":
+            continue
+        if record.compensates_lsn:
+            image[oid.offset] = record.new_value
+            decided[oid] = "loser"
+            continue
+        outcome = plan.resolve(record.tid)
+        if outcome.winner:
+            image[oid.offset] = record.new_value
+            decided[oid] = "winner"
+        else:
+            image[oid.offset] = record.old_value
+            decided[oid] = "loser"
+    yield from disk.write_page(segment_id, page, image,
+                               sequence_number=header)
+    return "repaired"

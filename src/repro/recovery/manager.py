@@ -76,6 +76,10 @@ class RecoveryManager:
                                  buffer_capacity=buffer_capacity,
                                  node_name=node.name)
         self.wal.on_buffer_full = self._on_buffer_full
+        # Log-media events (duplex repairs, salvage truncations) land on
+        # this node's metrics; rebinding on every rebuild keeps the
+        # surviving store pointed at the current node identity.
+        self.wal.store.media_observer = self._media_event
         self.port = node.create_port("rm")
         node.register_service(SERVICE, self.port)
         #: per-transaction backward chain head (newest record's LSN)
@@ -93,6 +97,9 @@ class RecoveryManager:
         node.spawn(self._loop(), name="recovery-manager", defused=True)
 
     # -- plumbing ---------------------------------------------------------------
+
+    def _media_event(self, kind: str, count: int = 1) -> None:
+        self.ctx.metrics.counter(self.node.name, kind).inc(count)
 
     def _loop(self):
         while True:

@@ -16,13 +16,24 @@ External callers -- the chaos controller's restart action,
 on and wait for the supervisor's recovery process to finish.  A bare
 ``node.restart()`` with no driver at all now yields a fully recovered
 node, which is what "unattended self-healing" means.
+
+The supervisor is also the facility's *media repairer*: it installs
+itself as the virtual-memory layer's ``media_repairer`` hook, so a data
+server tripping :class:`~repro.errors.PageCorruption` on a page fault
+gets the page repaired in place (archived base + log roll-forward, see
+:func:`repro.recovery.driver.repair_page`) and its read retried --
+graceful degradation instead of a crashed node.  Repairs of the same
+page are deduplicated across concurrent readers, and a page that
+single-page repair cannot reconstruct (operation-logged history)
+escalates to a controlled crash + self-healing restart, whose recovery
+scrub handles it.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.sim import Process
+from repro.sim import Process, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.facility import TabsNode
@@ -36,19 +47,94 @@ class RecoverySupervisor:
         self.ctx = tabs_node.ctx
         #: recoveries this supervisor has initiated
         self.self_recoveries = 0
+        #: live single-page media repairs completed
+        self.page_repairs = 0
+        #: repairs that had to escalate to a full node restart
+        self.repair_escalations = 0
         #: the in-flight (or most recent) recovery process; it is an Event,
         #: so callers may yield it to await completion and read the
         #: RecoveryReport it returns
         self.recovery_process: Process | None = None
+        #: pages with a repair in flight (dedupes concurrent readers)
+        self._repairing: set = set()
+        #: last outcome per repaired page ("repaired"/"escalate"/...)
+        self.repair_outcomes: dict = {}
         tabs_node.node.on_restart.append(self._on_restart)
+        self._install_repairer()
+
+    def _install_repairer(self) -> None:
+        # The VirtualMemory is rebuilt on every restart; re-point its
+        # media_repairer at us each time the node comes up.
+        self.tabs_node.node.vm.media_repairer = self.repair_generator
 
     def _on_restart(self, node) -> None:
         # on_restart callbacks must not raise; Process creation only
         # registers the generator with the engine.
         self.self_recoveries += 1
         self.ctx.meter.bump("self_recoveries")
+        self._install_repairer()
         process = Process(self.ctx.engine,
                           self.tabs_node.recovery_generator(),
                           name=f"recovery-supervisor:{node.name}")
         process.defused = True
         self.recovery_process = process
+
+    # -- live media repair -------------------------------------------------------
+
+    def repair_generator(self, segment_id: str, page: int):
+        """Repair one corrupt page in place (generator; returns bool).
+
+        Invoked by :meth:`VirtualMemory.ensure_resident` when a page read
+        trips :class:`PageCorruption`.  Returns True when the page was
+        repaired (the caller retries the read), False when the read must
+        fail.  Concurrent readers of the same page wait for the first
+        repair instead of duplicating it.
+        """
+        from repro.recovery.driver import repair_page
+
+        key = (segment_id, page)
+        if key in self._repairing:
+            # Another coroutine is repairing this page; wait it out.
+            while key in self._repairing:
+                yield Timeout(self.ctx.engine, 0.1,
+                              name=f"media-repair-wait:{segment_id}:{page}")
+            return self.repair_outcomes.get(key) == "repaired"
+        self._repairing.add(key)
+        node = self.tabs_node.node
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "media.page_repair", node.name, "RECOVERY",
+                segment=segment_id, page=page)
+        status = "failed"
+        try:
+            status = yield from repair_page(
+                self.tabs_node.rm, self.tabs_node.archive, node.disk,
+                segment_id, page)
+        finally:
+            self._repairing.discard(key)
+            self.repair_outcomes[key] = status
+            if span_id and self.ctx.tracer is not None:
+                self.ctx.tracer.end(span_id, status=status)
+        if status == "repaired":
+            self.page_repairs += 1
+            self.ctx.metrics.counter(node.name, "media.page_repairs").inc()
+            return True
+        if status == "escalate":
+            # Operation-logged history: only full recovery's scrub +
+            # three-pass replay can rebuild the page.  Schedule a
+            # controlled crash/restart (we may be running *inside* a
+            # process this crash would kill) and fail the current read.
+            self.repair_escalations += 1
+            self.ctx.metrics.counter(node.name,
+                                     "media.repair_escalations").inc()
+            self.ctx.engine.schedule(0.0, self._escalate)
+        else:
+            self.ctx.metrics.counter(node.name,
+                                     "media.repair_failures").inc()
+        return False
+
+    def _escalate(self) -> None:
+        if self.tabs_node.node.alive:
+            self.tabs_node.crash()
+            self.tabs_node.node.restart()

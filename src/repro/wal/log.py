@@ -135,6 +135,22 @@ class WriteAheadLog:
         """Drop the volatile buffer (the durable prefix survives)."""
         self._buffer.clear()
 
+    def tear_inflight_force(self) -> int | None:
+        """Power fails mid-force: the oldest buffered record reaches the
+        log disks half-written (:meth:`LogStore.append_torn`).
+
+        Returns the torn LSN, or None when the buffer is empty.  The
+        record was never durable or acknowledged, so tearing it loses
+        nothing a crash would not -- but it leaves real damage on the
+        media tail for the next recovery's salvage scan to truncate.
+        The caller crashes the node immediately after.
+        """
+        if not self._buffer:
+            return None
+        record = min(self._buffer, key=lambda r: r.lsn)
+        self.store.append_torn(record)
+        return record.lsn
+
     @classmethod
     def after_restart(cls, ctx: SimContext, store: LogStore,
                       buffer_capacity: int = 512) -> "WriteAheadLog":

@@ -39,14 +39,22 @@ def run_scenario(plan: FaultPlan, seed: int, node_count: int = 3,
                  with_queue: bool = False, transfers: int = 12,
                  enqueues: int = 0, run_ms: float = 6_000.0,
                  trace_network: bool = False,
-                 spacing_ms: float = 120.0) -> ScenarioRun:
-    """Build, torture, repair, audit.  Deterministic in ``(plan, seed)``."""
+                 spacing_ms: float = 120.0,
+                 archive_dump_at_ms: float | None = None) -> ScenarioRun:
+    """Build, torture, repair, audit.  Deterministic in ``(plan, seed)``.
+
+    ``archive_dump_at_ms`` schedules an archive dump on every node (the
+    base image corruption scenarios repair media from); it is opt-in so
+    historical plans replay byte-identically.
+    """
     cluster = build_cluster(node_count, with_queue=with_queue, seed=seed)
     controller = ChaosController(cluster, plan, seed=seed,
                                  trace_network=trace_network)
     workload = ChaosWorkload(cluster, controller, seed=seed)
     workload.setup()
     controller.install()
+    if archive_dump_at_ms is not None:
+        workload.schedule_archive_dumps(archive_dump_at_ms)
     workload.schedule_traffic(transfers=transfers, enqueues=enqueues,
                               spacing_ms=spacing_ms)
     workload.run(run_ms)

@@ -8,7 +8,16 @@ trigger, and transaction outcome) and the same final simulated clock;
 a different seed must diverge.
 """
 
-from repro.chaos import CrashAt, FaultPlan, LinkFaultWindow, PartitionAt
+from repro.chaos import (
+    BitRotAt,
+    CrashAt,
+    FaultPlan,
+    LinkFaultWindow,
+    LogSectorRotAt,
+    PartitionAt,
+    TornWriteAt,
+    random_plan,
+)
 from tests.chaos.conftest import run_scenario
 
 PLAN = FaultPlan.of(
@@ -16,6 +25,12 @@ PLAN = FaultPlan.of(
     PartitionAt(1_000.0, (("n0",), ("n1", "n2")), heal_after_ms=500.0),
     LinkFaultWindow(1_800.0, 2_600.0, "n0", "n2", loss=0.3, duplicate=0.2,
                     reorder=0.2))
+
+CORRUPTION_PLAN = FaultPlan.of(
+    TornWriteAt(900.0, "n1", restart_after_ms=500.0),
+    LogSectorRotAt(1_600.0, "n0"),
+    BitRotAt(2_100.0, "n2", salt=11),
+    CrashAt(2_700.0, "n0", restart_after_ms=400.0))
 
 
 def execute(seed: int):
@@ -39,3 +54,50 @@ def test_different_seed_diverges():
     _, trace_a, _ = execute(seed=2026)
     _, trace_b, _ = execute(seed=2027)
     assert trace_a != trace_b
+
+
+def execute_corruption(seed: int):
+    run = run_scenario(CORRUPTION_PLAN, seed=seed, transfers=10,
+                       run_ms=4_500.0, trace_network=True,
+                       archive_dump_at_ms=300.0)
+    return run, run.controller.trace, run.cluster.engine.now
+
+
+def test_corruption_faults_are_seed_deterministic():
+    """Checksum detections, duplex repairs, salvages, and page repairs
+    must replay exactly: the corruption fault surface (including the
+    controller's RNG picks of target pages and log sectors) is part of
+    the deterministic event trace."""
+    run_a, trace_a, now_a = execute_corruption(seed=3131)
+    run_b, trace_b, now_b = execute_corruption(seed=3131)
+    assert trace_a == trace_b
+    assert now_a == now_b
+    assert {"torn-write", "archive-dump"} <= run_a.trace_kinds()
+    from repro.obs import metrics_json
+
+    assert metrics_json(run_a.cluster.metrics) == \
+        metrics_json(run_b.cluster.metrics)
+
+
+def test_corruption_weight_zero_leaves_random_plans_unchanged():
+    """``corruption_weight=0`` must draw nothing from the plan RNG, so
+    every historical ``(seed, plan)`` pair replays byte-identically."""
+    nodes = ["n0", "n1", "n2"]
+    for seed in range(40, 52):
+        baseline = random_plan(seed=seed, nodes=nodes,
+                               duration_ms=8_000.0, episodes=5)
+        explicit = random_plan(seed=seed, nodes=nodes,
+                               duration_ms=8_000.0, episodes=5,
+                               corruption_weight=0)
+        assert baseline == explicit
+
+
+def test_corruption_weight_adds_corruption_episodes():
+    nodes = ["n0", "n1", "n2"]
+    plans = [random_plan(seed=seed, nodes=nodes, duration_ms=8_000.0,
+                         episodes=6, corruption_weight=6)
+             for seed in range(20)]
+    kinds = {type(action).__name__
+             for plan in plans for action in plan}
+    assert {"TornWriteAt", "BitRotAt", "LostWriteAt",
+            "LogSectorRotAt"} <= kinds

@@ -26,6 +26,25 @@ def test_soak_random_faults(seed):
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("seed", range(70, 80))
+def test_soak_storage_corruption(seed):
+    """Random schedules with the corruption fault kinds enabled.
+
+    ``corruption_weight`` biases half the episodes toward torn writes,
+    bit rot, lost writes, and log-sector rot; the archive dump early in
+    the run gives media repair its base image.  Whatever the mix, every
+    audit -- including storage integrity -- must come back green.
+    """
+    plan = random_plan(seed=seed, nodes=NODES, duration_ms=8_000.0,
+                       episodes=6, corruption_weight=9)
+    run = run_scenario(plan, seed=seed, transfers=24, run_ms=10_000.0,
+                       archive_dump_at_ms=350.0)
+    assert run.quiet, f"seed {seed}: no quiescence after repair"
+    assert run.report.ok, f"seed {seed} violations:\n" + "\n".join(
+        f"  {violation}" for violation in run.report.violations)
+
+
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", [60, 61, 62])
 def test_soak_bigger_cluster(seed):
     nodes = [f"n{i}" for i in range(5)]

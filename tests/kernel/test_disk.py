@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import PageCorruption
 from repro.kernel.context import SimContext
 from repro.kernel.costs import MEASURED_1985, Primitive
 from repro.kernel.disk import MAX_SEQUENCE_NUMBER, Disk
@@ -111,3 +112,131 @@ def test_contents_survive_peek_without_cost(ctx):
     before = ctx.engine.now
     assert disk.peek_page("seg", 0) == {16: "x"}
     assert ctx.engine.now == before
+
+
+# -- corruption detection and the fault surface ---------------------------------
+
+
+def test_bit_rot_is_detected_on_read(ctx):
+    disk = Disk(ctx, node_name="n1")
+    run(ctx, disk.write_page("seg", 0, {0: 1, 4: 2}))
+    seen = []
+    disk.on_corruption.append(lambda seg, page: seen.append((seg, page)))
+    assert disk.rot_page("seg", 0, salt=1)
+    assert not disk.verify_page("seg", 0)
+    with pytest.raises(PageCorruption):
+        run(ctx, disk.read_page("seg", 0))
+    assert seen == [("seg", 0)]
+    assert disk.corruption_detected == 1
+    assert ctx.metrics.counter("n1", "disk.corruption_detected").value == 1
+
+
+def test_rot_is_deterministic_in_salt(ctx):
+    first, second = Disk(ctx), Disk(ctx)
+    for disk in (first, second):
+        run(ctx, disk.write_page("seg", 0, {0: "a", 4: "b", 8: "c"}))
+        disk.rot_page("seg", 0, salt=7)
+    assert first.peek_page("seg", 0) == second.peek_page("seg", 0)
+
+
+def test_rot_of_virgin_sector_is_a_no_op(ctx):
+    disk = Disk(ctx)
+    assert not disk.rot_page("seg", 9)
+    assert disk.verify_page("seg", 9)
+
+
+def test_clean_rewrite_clears_corruption(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {0: 1}))
+    disk.rot_page("seg", 0)
+    run(ctx, disk.write_page("seg", 0, {0: 2}))
+    assert disk.verify_page("seg", 0)
+    assert run(ctx, disk.read_page("seg", 0)) == {0: 2}
+
+
+def test_torn_write_keeps_a_prefix_under_the_full_checksum(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {0: "a", 4: "b", 8: "c", 12: "d"}))
+    assert disk.tear_page("seg", 0)
+    assert disk.peek_page("seg", 0) == {0: "a", 4: "b"}
+    assert not disk.verify_page("seg", 0)
+
+
+def test_tear_last_write_targets_the_in_flight_sector(ctx):
+    disk = Disk(ctx)
+    assert disk.tear_last_write() is None  # nothing ever written
+    run(ctx, disk.write_page("seg", 1, {0: 1, 4: 2}))
+    run(ctx, disk.write_page("seg", 5, {0: 3, 4: 4}))
+    assert disk.tear_last_write() == ("seg", 5)
+    assert disk.verify_page("seg", 1)
+    assert not disk.verify_page("seg", 5)
+
+
+def test_lost_write_acknowledged_but_detectable(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {0: "old"}))
+    disk.arm_lost_write("seg", 0)
+    run(ctx, disk.write_page("seg", 0, {0: "new"}))
+    # The drive acknowledged the write; the platter still has the old
+    # data, and the freshly written header checksum exposes it.
+    assert disk.lost_writes == 1
+    assert disk.peek_page("seg", 0) == {0: "old"}
+    assert not disk.verify_page("seg", 0)
+
+
+def test_misdirected_write_corrupts_victim_and_intended_sector(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {0: "home"}))
+    run(ctx, disk.write_page("seg", 3, {0: "victim"}))
+    disk.arm_misdirected_write("seg", 0, to_page=3)
+    run(ctx, disk.write_page("seg", 0, {0: "stray"}))
+    assert disk.misdirected_writes == 1
+    # Victim: foreign data under its old checksum.
+    assert disk.peek_page("seg", 3) == {0: "stray"}
+    assert not disk.verify_page("seg", 3)
+    # Intended sector: new checksum over the stale data.
+    assert disk.peek_page("seg", 0) == {0: "home"}
+    assert not disk.verify_page("seg", 0)
+
+
+def test_clear_armed_faults_disarms_pending_faults(ctx):
+    disk = Disk(ctx)
+    disk.arm_lost_write("seg", 0)
+    disk.arm_misdirected_write("seg", 1, to_page=2)
+    disk.clear_armed_faults()
+    run(ctx, disk.write_page("seg", 0, {0: 1}))
+    run(ctx, disk.write_page("seg", 1, {0: 2}))
+    assert disk.lost_writes == 0 and disk.misdirected_writes == 0
+    assert disk.verify_page("seg", 0) and disk.verify_page("seg", 1)
+
+
+def test_corrupt_pages_lists_only_failing_sectors(ctx):
+    disk = Disk(ctx)
+    for page in range(3):
+        run(ctx, disk.write_page("seg", page, {0: page}))
+    run(ctx, disk.write_page("other", 0, {0: 9}))
+    disk.rot_page("seg", 1)
+    disk.rot_page("seg", 2)
+    assert disk.corrupt_pages("seg") == [1, 2]
+    assert disk.corrupt_pages("other") == []
+    assert disk.page_keys() == [("other", 0), ("seg", 0), ("seg", 1),
+                                ("seg", 2)]
+
+
+def test_restore_segment_installs_trusted_checksums(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {0: 1}))
+    disk.rot_page("seg", 0)
+    disk.restore_segment("seg", {0: {0: 42}}, {0: 7})
+    assert disk.verify_page("seg", 0)
+    assert run(ctx, disk.read_page("seg", 0)) == {0: 42}
+    assert disk.read_sequence_number("seg", 0) == 7
+
+
+def test_wipe_segment_removes_corruption_with_the_data(ctx):
+    disk = Disk(ctx)
+    run(ctx, disk.write_page("seg", 0, {0: 1}))
+    disk.rot_page("seg", 0)
+    assert disk.wipe_segment("seg") == 1
+    assert disk.verify_page("seg", 0)
+    assert disk.page_keys() == []

@@ -1,0 +1,205 @@
+"""Unit tests for the self-healing RecoverySupervisor.
+
+Two responsibilities under test: (1) a bare ``node.restart()`` -- no
+external driver at all -- yields a fully recovered node, because the
+supervisor hooks ``on_restart``; (2) a data server tripping
+:class:`PageCorruption` gets the page repaired in place (archived base +
+log roll-forward) and its read transparently retried, including repeated
+faults on the same page and escalation to a full restart when the page's
+history is operation-logged.
+"""
+
+import pytest
+
+from repro.core.cluster import TabsCluster
+from repro.servers.int_array import IntegerArrayServer
+from repro.servers.op_array import OperationArrayServer
+from repro.sim import Process
+from tests.property.conftest import fast_config
+
+
+@pytest.fixture
+def cluster():
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", IntegerArrayServer.factory("arr"))
+    cluster.start()
+    return cluster
+
+
+def set_cell(cluster, cell, value, name="arr"):
+    def body(tid):
+        app = cluster.application("n1")
+        ref = yield from app.lookup_one(name)
+        yield from app.call(ref, "set_cell",
+                            {"cell": cell, "value": value}, tid)
+
+    cluster.run_transaction("n1", body)
+
+
+def get_cell(cluster, cell, name="arr"):
+    def body(tid):
+        app = cluster.application("n1")
+        ref = yield from app.lookup_one(name)
+        reply = yield from app.call(ref, "get_cell", {"cell": cell}, tid)
+        return reply["value"]
+
+    return cluster.run_transaction("n1", body)
+
+
+def dump_archive(cluster):
+    tabs_node = cluster.node("n1")
+    return cluster.engine.run_until(Process(
+        cluster.engine, tabs_node.archive_dump_generator()))
+
+
+def data_segment(cluster, name="arr"):
+    return cluster.node("n1").servers[name].segment_id
+
+
+# -- restart-triggered self-healing ---------------------------------------------
+
+
+def test_bare_restart_self_heals(cluster):
+    set_cell(cluster, 1, 77)
+    tabs_node = cluster.node("n1")
+    supervisor = tabs_node.supervisor
+    tabs_node.crash()
+    assert not tabs_node.node.alive
+    # No driver: just power the kernel node on.  The supervisor must
+    # notice and run the full rebuild + crash recovery on its own.
+    tabs_node.node.restart()
+    cluster.settle()
+    assert supervisor.self_recoveries == 1
+    assert tabs_node.last_recovery is not None
+    assert get_cell(cluster, 1) == 77
+
+
+def test_every_restart_recovers_again(cluster):
+    supervisor = cluster.node("n1").supervisor
+    for round_number in range(1, 4):
+        set_cell(cluster, 2, round_number)
+        cluster.node("n1").crash()
+        cluster.node("n1").node.restart()
+        cluster.settle()
+        assert supervisor.self_recoveries == round_number
+        assert get_cell(cluster, 2) == round_number
+
+
+# -- corruption-triggered live page repair ---------------------------------------
+
+
+def test_corrupt_page_is_repaired_transparently(cluster):
+    set_cell(cluster, 1, 10)
+    dump_archive(cluster)
+    set_cell(cluster, 1, 25)  # committed after the dump: must roll forward
+    cluster.settle()
+    tabs_node = cluster.node("n1")
+    seg = data_segment(cluster)
+    disk = tabs_node.node.disk
+    # Evict the clean cached copy so the next read faults from disk, then
+    # rot the sector.
+    tabs_node.node.vm.clear_volatile()
+    assert disk.rot_page(seg, 0, salt=3)
+    assert not disk.verify_page(seg, 0)
+
+    assert get_cell(cluster, 1) == 25  # read succeeds, repair invisible
+
+    supervisor = tabs_node.supervisor
+    assert supervisor.page_repairs == 1
+    assert supervisor.repair_outcomes[(seg, 0)] == "repaired"
+    assert disk.verify_page(seg, 0)
+    metrics = cluster.metrics
+    assert metrics.counter("n1", "media.page_repairs").value == 1
+    assert metrics.counter("n1", "disk.corruption_detected").value == 1
+
+
+def test_repeated_faults_on_same_page_each_repair(cluster):
+    set_cell(cluster, 3, 5)
+    dump_archive(cluster)
+    tabs_node = cluster.node("n1")
+    seg = data_segment(cluster)
+    disk = tabs_node.node.disk
+    for round_number in range(1, 4):
+        value = round_number * 11
+        set_cell(cluster, 3, value)
+        cluster.settle()
+        tabs_node.node.vm.clear_volatile()
+        assert disk.rot_page(seg, 0, salt=round_number)
+        assert get_cell(cluster, 3) == value
+        assert tabs_node.supervisor.page_repairs == round_number
+    assert cluster.metrics.counter("n1", "media.page_repairs").value == 3
+
+
+def test_uncommitted_archived_value_not_resurrected(cluster):
+    """The dump's flush steals dirty uncommitted pages into the archive;
+    a repair from that base must still unwind the losing transaction."""
+    set_cell(cluster, 1, 10)
+
+    def update_then_abort(tid):
+        app = cluster.application("n1")
+        ref = yield from app.lookup_one("arr")
+        yield from app.call(ref, "set_cell", {"cell": 1, "value": 999}, tid)
+        # The dump happens mid-transaction: the archive captures 999.
+        tabs_node = cluster.node("n1")
+        yield from tabs_node.archive_dump_generator()
+        yield from app.abort_transaction(tid, reason="test")
+        return True
+
+    app = cluster.application("n1")
+
+    def run():
+        tid = yield from app.begin_transaction()
+        result = yield from update_then_abort(tid)
+        return result
+
+    cluster.run_on("n1", run())
+    cluster.settle()
+    tabs_node = cluster.node("n1")
+    seg = data_segment(cluster)
+    tabs_node.node.vm.clear_volatile()
+    assert tabs_node.node.disk.rot_page(seg, 0, salt=9)
+    assert get_cell(cluster, 1) == 10  # not the archived dirty 999
+
+
+def test_operation_logged_page_escalates_to_full_recovery():
+    cluster = TabsCluster(fast_config())
+    cluster.add_node("n1")
+    cluster.add_server("n1", OperationArrayServer.factory("ops"))
+    cluster.start()
+
+    def add(tid):
+        app = cluster.application("n1")
+        ref = yield from app.lookup_one("ops")
+        yield from app.call(ref, "add_cell", {"cell": 1, "delta": 4}, tid)
+
+    cluster.run_transaction("n1", add)
+    dump_archive(cluster)
+    cluster.run_transaction("n1", add)  # operation record after the dump
+    cluster.settle()
+    tabs_node = cluster.node("n1")
+    seg = data_segment(cluster, "ops")
+    supervisor = tabs_node.supervisor
+    tabs_node.node.vm.clear_volatile()
+    assert tabs_node.node.disk.rot_page(seg, 0, salt=5)
+
+    def read(tid):
+        app = cluster.application("n1")
+        ref = yield from app.lookup_one("ops")
+        reply = yield from app.call(ref, "get_cell", {"cell": 1}, tid)
+        return reply["value"]
+
+    # The read that trips the corruption fails (single-page value replay
+    # cannot rebuild operation-logged history), the supervisor escalates
+    # to a controlled crash + self-healing restart, and afterwards the
+    # node serves the correct value again.
+    try:
+        cluster.run_transaction("n1", read)
+    except Exception:
+        pass
+    cluster.settle()
+    assert supervisor.repair_escalations == 1
+    assert supervisor.self_recoveries >= 1
+    assert tabs_node.node.alive
+    assert tabs_node.node.disk.verify_page(seg, 0)
+    assert cluster.run_transaction("n1", read) == 8
