@@ -23,6 +23,7 @@ from repro.chaos.controller import ChaosController
 from repro.chaos.plan import (
     BitRotAt,
     CrashAt,
+    CrashOnGroupForce,
     CrashWhenLogged,
     DiskSlowdown,
     FaultAction,
@@ -48,6 +49,7 @@ __all__ = [
     "ChaosController",
     "ChaosWorkload",
     "CrashAt",
+    "CrashOnGroupForce",
     "CrashWhenLogged",
     "DiskSlowdown",
     "FaultAction",

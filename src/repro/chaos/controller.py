@@ -16,6 +16,7 @@ import random
 from repro.chaos.plan import (
     BitRotAt,
     CrashAt,
+    CrashOnGroupForce,
     CrashWhenLogged,
     DiskSlowdown,
     FaultPlan,
@@ -151,6 +152,8 @@ class ChaosController:
             watcher = Process(self.engine, self._watch(action),
                               name=f"chaos:watch:{action.crash_node}")
             self._watchers.append(watcher)
+        elif isinstance(action, CrashOnGroupForce):
+            self._arm_group_force_crash(action)
         else:  # pragma: no cover - exhaustive over FaultAction
             raise TabsError(f"unknown fault action {action!r}")
 
@@ -278,6 +281,34 @@ class ChaosController:
             self.record("log-rot-skipped", action.node)
 
     # -- triggered crashes ----------------------------------------------------------
+
+    def _arm_group_force_crash(self, action: CrashOnGroupForce) -> None:
+        """Crash inside the group-commit force window, via the pipeline's
+        ``on_group_force`` hook (fires before the stable-storage write).
+
+        One-shot: the hook disarms itself after the crash; the rebuilt
+        pipeline after recovery carries no hooks.  Armed against the
+        pipeline instance that exists at install time -- if the node runs
+        the paper pipeline the action records a skip and does nothing.
+        """
+        pipeline = self.cluster.node(action.node).rm.wal.group_pipeline
+        if pipeline is None:
+            self.record("group-force-watch-skipped", action.node)
+            return
+        state = {"count": 0, "done": False}
+
+        def hook(node_name: str, batch_size: int, target_lsn: int) -> None:
+            if state["done"] or batch_size < action.min_batch:
+                return
+            state["count"] += 1
+            if state["count"] < action.nth:
+                return
+            state["done"] = True
+            self.record("group-force-crash", action.node, batch_size,
+                        target_lsn)
+            self._crash(action.node, action.restart_after_ms)
+
+        pipeline.on_group_force.append(hook)
 
     def _watch(self, action: CrashWhenLogged):
         """Poll durable logs until the trigger condition holds, then crash.

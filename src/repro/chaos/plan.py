@@ -166,9 +166,31 @@ class CrashWhenLogged:
     disarm_after_ms: float = 0.0
 
 
+@dataclass(frozen=True)
+class CrashOnGroupForce:
+    """Crash ``node`` the instant its group-commit pipeline starts a
+    physical force of a batch of at least ``min_batch`` commit waiters.
+
+    Only meaningful when the cluster runs the ``grouped`` commit
+    pipeline (the paper pipeline never opens a force window).  The crash
+    fires from the pipeline's ``on_group_force`` hook -- *before* the
+    stable-storage write -- so every transaction waiting in that window
+    has its commit record still volatile.  The post-recovery invariant is
+    all-or-none per transaction: none of the window's waiters may be
+    durably committed on the crashed node, and no client may have been
+    acknowledged.  ``nth`` skips the first ``nth - 1`` qualifying
+    batches; the trigger is one-shot per plan action.
+    """
+
+    node: str
+    min_batch: int = 2
+    nth: int = 1
+    restart_after_ms: float | None = None
+
+
 FaultAction = (CrashAt | RestartAt | PartitionAt | HealAt | LinkFaultWindow
                | DiskSlowdown | TornWriteAt | BitRotAt | LostWriteAt
-               | LogSectorRotAt | CrashWhenLogged)
+               | LogSectorRotAt | CrashWhenLogged | CrashOnGroupForce)
 
 
 @dataclass(frozen=True)

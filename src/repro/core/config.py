@@ -20,6 +20,66 @@ from repro.kernel.costs import (
 
 
 @dataclass(frozen=True)
+class CommitConfig:
+    """The commit/logging pipeline in force on every node.
+
+    ``pipeline="paper"`` (the default) reproduces the system exactly as
+    measured: every prepare and commit record is forced individually and
+    every 2PC vote/ack travels as its own datagram, so Tables 5-1 through
+    5-5 and all historical chaos seeds replay byte-identically.
+
+    ``pipeline="grouped"`` is the Section 7 scale-out direction (Gray's
+    group commit): log forces arriving within ``force_window_ms`` of each
+    other -- or up to ``force_batch_cap`` of them -- are coalesced into a
+    single physical log force that completes all waiters at once, and the
+    Transaction Manager batches 2PC datagrams destined for the same node
+    (acks piggyback on the next outbound datagram at the same instant).
+
+    ``serial_log_device`` models the log disk as a serial resource (one
+    force in flight at a time, FIFO).  It is off by default because the
+    paper's no-load latency accounting lets concurrent forces overlap
+    freely; the throughput harness turns it on for both pipelines so the
+    comparison is between equal device models.
+    """
+
+    #: "paper" | "grouped"
+    pipeline: str = "paper"
+    #: group-commit accumulation window in simulated milliseconds
+    force_window_ms: float = 2.0
+    #: force immediately once this many waiters are pending
+    force_batch_cap: int = 64
+    #: batch same-target 2PC datagrams issued at the same instant
+    coalesce_datagrams: bool = True
+    #: one physical log force in flight at a time (FIFO device queue)
+    serial_log_device: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pipeline not in ("paper", "grouped"):
+            raise ValueError(f"unknown commit pipeline {self.pipeline!r}")
+        if self.force_window_ms < 0:
+            raise ValueError("force_window_ms must be >= 0")
+        if self.force_batch_cap < 1:
+            raise ValueError("force_batch_cap must be >= 1")
+
+    @property
+    def grouped_pipeline(self) -> bool:
+        return self.pipeline == "grouped"
+
+    @classmethod
+    def paper(cls) -> "CommitConfig":
+        """Byte-identical to the system as measured."""
+        return cls()
+
+    @classmethod
+    def grouped(cls, force_window_ms: float = 2.0,
+                force_batch_cap: int = 64) -> "CommitConfig":
+        """Group commit + datagram coalescing over a serial log device."""
+        return cls(pipeline="grouped", force_window_ms=force_window_ms,
+                   force_batch_cap=force_batch_cap,
+                   serial_log_device=True)
+
+
+@dataclass(frozen=True)
 class TabsConfig:
     """Everything needed to build a cluster."""
 
@@ -42,6 +102,9 @@ class TabsConfig:
     suspicion_timeout_ms: float = 1500.0
     #: TM-driven checkpoint cadence (Section 3.2.2), in commits; None = off
     checkpoint_every_commits: int | None = None
+    #: commit/logging pipeline (group commit, datagram coalescing); the
+    #: default reproduces the paper's per-record forces exactly
+    commit: CommitConfig = field(default_factory=CommitConfig)
     seed: int = 1985
 
     @classmethod

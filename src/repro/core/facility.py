@@ -81,9 +81,11 @@ class TabsNode:
         self.ns = NameServer(self.node, self.network)
         self.rm = RecoveryManager(self.node, store=self.log_store,
                                   buffer_capacity=self.config
-                                  .log_buffer_records)
+                                  .log_buffer_records,
+                                  commit=self.config.commit)
         self.tm = TransactionManager(self.node,
-                                     RecoveryManagerClient(self.node))
+                                     RecoveryManagerClient(self.node),
+                                     commit=self.config.commit)
         # Inbound protocol traffic (a peer's prompt abort, an outcome
         # query) must not race the log replay below; the gate opens at
         # the end of setup_generator once the node is consistent.

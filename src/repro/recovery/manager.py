@@ -32,6 +32,7 @@ of the three-message write-ahead-log conversation of Section 3.2.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import RecoveryError
 from repro.kernel.messages import Message, MessageKind
@@ -52,6 +53,9 @@ from repro.wal.records import (
 )
 from repro.wal.store import LogStore
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CommitConfig
+
 SERVICE = "recovery_manager"
 
 #: Start reclamation when the store has fewer free slots than this.
@@ -69,12 +73,13 @@ class RecoveryManager:
     """One per node; owns the node's common write-ahead log."""
 
     def __init__(self, node: Node, store: LogStore | None = None,
-                 buffer_capacity: int = 512) -> None:
+                 buffer_capacity: int = 512,
+                 commit: "CommitConfig | None" = None) -> None:
         self.node = node
         self.ctx = node.ctx
         self.wal = WriteAheadLog(node.ctx, store=store,
                                  buffer_capacity=buffer_capacity,
-                                 node_name=node.name)
+                                 node_name=node.name, commit=commit)
         self.wal.on_buffer_full = self._on_buffer_full
         # Log-media events (duplex repairs, salvage truncations) land on
         # this node's metrics; rebinding on every rebuild keeps the

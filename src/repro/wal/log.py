@@ -9,24 +9,37 @@ One force operation writes the buffered records as a batch and is charged a
 single stable-storage write -- this matches the paper's accounting, where a
 one-page log force costs one ``Stable Storage Write`` primitive (79 ms
 measured, 32 ms achievable with dedicated logging disks).
+
+*How* force requests map onto physical forces is pluggable (see
+:mod:`repro.wal.pipeline`): the default ``paper`` pipeline performs one
+physical force per request, exactly as measured; the ``grouped`` pipeline
+coalesces requests arriving within a window into a single force (group
+commit).  :meth:`WriteAheadLog.force` is the only entry point either way --
+callers enqueue a force request and get a completion.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import WriteAheadLogError
 from repro.kernel.context import SimContext
 from repro.kernel.costs import Primitive
+from repro.sim import Timeout
+from repro.wal.pipeline import GroupCommitPipeline, make_force_pipeline
 from repro.wal.records import LogRecord
 from repro.wal.store import LogStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CommitConfig
 
 
 class WriteAheadLog:
     """LSN assignment + volatile buffering over a :class:`LogStore`."""
 
     def __init__(self, ctx: SimContext, store: LogStore | None = None,
-                 buffer_capacity: int = 512, node_name: str = "") -> None:
+                 buffer_capacity: int = 512, node_name: str = "",
+                 commit: "CommitConfig | None" = None) -> None:
         if buffer_capacity < 1:
             raise WriteAheadLogError("log buffer needs capacity >= 1")
         self.ctx = ctx
@@ -37,11 +50,19 @@ class WriteAheadLog:
         self.store = LogStore() if store is None else store
         self.buffer_capacity = buffer_capacity
         self._buffer: list[LogRecord] = []
-        self._next_lsn = max(self.store.last_lsn + 1, 1)
+        self._next_lsn: int = max(self.store.last_lsn + 1, 1)
         self.forces = 0
         #: called when an append finds the buffer full; the Recovery Manager
         #: hooks reclamation checks here.
-        self.on_buffer_full = None
+        self.on_buffer_full: Callable[[], None] | None = None
+        #: how force requests become physical forces (paper | grouped)
+        self.pipeline = make_force_pipeline(self, commit)
+        #: model the log disk as a serial resource (one force in flight at
+        #: a time); off by default so the paper's overlapping accounting --
+        #: and every historical seed -- is preserved exactly
+        self.serial_log_device: bool = bool(
+            getattr(commit, "serial_log_device", False))
+        self._device_free_at: float = 0.0
 
     # -- state ---------------------------------------------------------------
 
@@ -58,6 +79,12 @@ class WriteAheadLog:
     @property
     def buffered_count(self) -> int:
         return len(self._buffer)
+
+    @property
+    def group_pipeline(self) -> GroupCommitPipeline | None:
+        """The group-commit scheduler, when one is in force."""
+        pipeline = self.pipeline
+        return pipeline if isinstance(pipeline, GroupCommitPipeline) else None
 
     # -- writing ---------------------------------------------------------------
 
@@ -81,20 +108,41 @@ class WriteAheadLog:
         """Make records up to ``up_to_lsn`` durable (generator; charges I/O).
 
         Forces the whole buffer when ``up_to_lsn`` is None.  A no-op (and
-        free) when everything requested is already durable.
+        free) when everything requested is already durable.  The request is
+        routed through the force pipeline: the paper pipeline forces
+        immediately; the grouped pipeline enqueues the request and the
+        completion arrives when its batch's single physical force lands.
         """
         target = self.last_lsn if up_to_lsn is None else up_to_lsn
         if target <= self.flushed_lsn or not self._buffer:
             return
         if not any(r.lsn <= target for r in self._buffer):
             return
+        yield from self.pipeline.force(target)
+
+    def physical_force(self, target: int) -> Iterator:
+        """One physical log force through ``target`` (generator).
+
+        Owns the stable-storage write, the optional serial-device queue,
+        and the metrics.  Pipelines call this; everyone else goes through
+        :meth:`force`.
+        """
         started = self.ctx.now
         span_id = 0
         if self.ctx.tracer is not None:
             span_id = self.ctx.tracer.begin(
                 "wal.force", self.node_name, "WAL",
                 target_lsn=target, buffered=len(self._buffer))
-        yield self.ctx.charge(Primitive.STABLE_STORAGE_WRITE)
+        if self.serial_log_device:
+            # The log disk does one force at a time: queue FIFO behind the
+            # in-flight force, then hold the device for the write.
+            time_ms = self.ctx.delay_of(Primitive.STABLE_STORAGE_WRITE)
+            begin = max(self.ctx.now, self._device_free_at)
+            self._device_free_at = begin + time_ms
+            yield Timeout(self.ctx.engine, self._device_free_at - self.ctx.now,
+                          name=Primitive.STABLE_STORAGE_WRITE.value)
+        else:
+            yield self.ctx.charge(Primitive.STABLE_STORAGE_WRITE)
         # Recompute after the I/O wait: a concurrent force may have drained
         # part of the buffer while this one slept, and appending an already
         # durable record would corrupt the LSN order.
@@ -132,8 +180,14 @@ class WriteAheadLog:
     # -- failure model ----------------------------------------------------------
 
     def crash(self) -> None:
-        """Drop the volatile buffer (the durable prefix survives)."""
+        """Drop the volatile buffer (the durable prefix survives).
+
+        The force pipeline is fenced too: queued group-commit waiters are
+        dropped (their processes died with the node) and any scheduled
+        window callback or in-flight flush becomes inert.
+        """
         self._buffer.clear()
+        self.pipeline.crash()
 
     def tear_inflight_force(self) -> int | None:
         """Power fails mid-force: the oldest buffered record reaches the
@@ -153,6 +207,9 @@ class WriteAheadLog:
 
     @classmethod
     def after_restart(cls, ctx: SimContext, store: LogStore,
-                      buffer_capacity: int = 512) -> "WriteAheadLog":
+                      buffer_capacity: int = 512,
+                      commit: "CommitConfig | None" = None
+                      ) -> "WriteAheadLog":
         """A fresh log over a surviving store, continuing its LSN sequence."""
-        return cls(ctx, store=store, buffer_capacity=buffer_capacity)
+        return cls(ctx, store=store, buffer_capacity=buffer_capacity,
+                   commit=commit)

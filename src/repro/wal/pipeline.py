@@ -1,0 +1,164 @@
+"""Pluggable log-force pipelines: per-record forces versus group commit.
+
+The paper's commit path forces every prepare and commit record
+individually -- one ``Stable Storage Write`` per record, exactly as
+Tables 5-2/5-3 account for it.  :class:`PaperForcePipeline` preserves that
+behaviour byte for byte.
+
+:class:`GroupCommitPipeline` is the classic group-commit lever (Gray &
+Levine, "Thousands of DebitCredit Transactions-Per-Second"): a force
+request enqueues and waits; all requests that arrive within a configurable
+window -- or up to a batch-size cap -- are coalesced into one physical log
+force that completes every waiter at once.  Under concurrent commit
+traffic this drops forces-per-commit below 1.0, which is what turns a
+log-force-bound system into a throughput machine.
+
+Both pipelines drive :meth:`repro.wal.log.WriteAheadLog.physical_force`,
+which owns the storage write, the (optional) serial log-device queue, and
+the paper's cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.sim import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CommitConfig
+    from repro.wal.log import WriteAheadLog
+
+#: ``(node_name, batch_size, target_lsn) -> None`` -- observers invoked at
+#: the start of every physical group force (chaos crash triggers hook here).
+GroupForceHook = Callable[[str, int, int], None]
+
+
+class PaperForcePipeline:
+    """One physical force per request -- the system as measured."""
+
+    grouped = False
+
+    def __init__(self, wal: "WriteAheadLog") -> None:
+        self.wal = wal
+
+    def force(self, target: int) -> Iterator:
+        yield from self.wal.physical_force(target)
+
+    def crash(self) -> None:
+        """Nothing queued outside the WAL's own volatile buffer."""
+
+
+class GroupCommitPipeline:
+    """Coalesce force requests inside a window into one physical force.
+
+    A request opens an accumulation window (``window_ms``); every request
+    arriving before it expires joins the batch.  The batch is forced early
+    when ``batch_cap`` requests are pending.  One stable-storage write
+    completes all waiters at once.
+
+    Crash semantics: a node crash inside the window (or during the
+    physical write) loses the volatile log buffer, so *none* of the
+    batched records become durable and no waiter is completed -- the
+    batched transactions atomically all abort at recovery.  The epoch
+    guard makes the scheduled window callback and any in-flight flush
+    process inert after a crash.
+    """
+
+    grouped = True
+
+    def __init__(self, wal: "WriteAheadLog", window_ms: float = 2.0,
+                 batch_cap: int = 64) -> None:
+        self.wal = wal
+        self.ctx = wal.ctx
+        self.window_ms = window_ms
+        self.batch_cap = batch_cap
+        self._pending: list[tuple[int, Event]] = []
+        self._window_open = False
+        self._epoch = 0
+        #: physical group forces performed
+        self.batches = 0
+        #: waiters completed across all batches
+        self.coalesced = 0
+        self.on_group_force: list[GroupForceHook] = []
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def force(self, target: int) -> Iterator:
+        """Enqueue a force request and wait for its batch (generator)."""
+        waiter = Event(self.ctx.engine,
+                       name=f"wal.group_force_wait:{self.wal.node_name}")
+        self._pending.append((target, waiter))
+        if len(self._pending) >= self.batch_cap:
+            self._begin_flush()
+        elif not self._window_open:
+            self._window_open = True
+            epoch = self._epoch
+            self.ctx.engine.schedule(
+                self.window_ms, lambda: self._window_expired(epoch))
+        yield waiter
+
+    def _window_expired(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # the node crashed; a new incarnation owns the log now
+        self._window_open = False
+        if self._pending:
+            self._begin_flush()
+
+    def _begin_flush(self) -> None:
+        batch, self._pending = self._pending, []
+        self._window_open = False
+        Process(self.ctx.engine, self._flush(batch),
+                name=f"wal:group-force:{self.wal.node_name}")
+
+    def _flush(self, batch: list[tuple[int, Event]]) -> Iterator:
+        epoch = self._epoch
+        target = max(lsn for lsn, _ in batch)
+        self.batches += 1
+        self.ctx.metrics.histogram(
+            self.wal.node_name, "wal.group_force_batch").observe(len(batch))
+        span_id = 0
+        if self.ctx.tracer is not None:
+            span_id = self.ctx.tracer.begin(
+                "wal.group_force", self.wal.node_name, "WAL",
+                target_lsn=target, batch=len(batch))
+        for hook in list(self.on_group_force):
+            hook(self.wal.node_name, len(batch), target)
+        if epoch != self._epoch:
+            # A hook crashed the node inside the window: nothing was
+            # forced, no waiter completes, the batch atomically aborts.
+            return
+        yield from self.wal.physical_force(target)
+        if span_id and self.ctx.tracer is not None:
+            self.ctx.tracer.end(span_id, waiters=len(batch))
+        if epoch != self._epoch:
+            # Crashed during the stable write: the volatile buffer is gone,
+            # nothing landed (physical_force re-reads the buffer after the
+            # I/O wait), and the waiting processes died with the node.
+            return
+        self.coalesced += len(batch)
+        for _, waiter in batch:
+            waiter.succeed()
+
+    def crash(self) -> None:
+        """Drop the queue; fence the window callback and in-flight flushes."""
+        self._epoch += 1
+        self._pending = []
+        self._window_open = False
+
+
+def make_force_pipeline(wal: "WriteAheadLog",
+                        commit: "CommitConfig | None"
+                        ) -> PaperForcePipeline | GroupCommitPipeline:
+    """Build the pipeline a commit config asks for.
+
+    ``commit`` is duck-typed (any object with the :class:`CommitConfig`
+    attributes, or None for the paper pipeline) so the WAL layer does not
+    import the cluster configuration package.
+    """
+    if commit is not None and getattr(commit, "pipeline", "paper") == "grouped":
+        return GroupCommitPipeline(
+            wal, window_ms=getattr(commit, "force_window_ms", 2.0),
+            batch_cap=getattr(commit, "force_batch_cap", 64))
+    return PaperForcePipeline(wal)

@@ -40,14 +40,18 @@ def run_scenario(plan: FaultPlan, seed: int, node_count: int = 3,
                  enqueues: int = 0, run_ms: float = 6_000.0,
                  trace_network: bool = False,
                  spacing_ms: float = 120.0,
-                 archive_dump_at_ms: float | None = None) -> ScenarioRun:
+                 archive_dump_at_ms: float | None = None,
+                 **config_overrides) -> ScenarioRun:
     """Build, torture, repair, audit.  Deterministic in ``(plan, seed)``.
 
     ``archive_dump_at_ms`` schedules an archive dump on every node (the
     base image corruption scenarios repair media from); it is opt-in so
-    historical plans replay byte-identically.
+    historical plans replay byte-identically.  ``config_overrides`` are
+    forwarded to :class:`TabsConfig` (e.g. ``commit=CommitConfig.grouped()``
+    to torture the group-commit pipeline).
     """
-    cluster = build_cluster(node_count, with_queue=with_queue, seed=seed)
+    cluster = build_cluster(node_count, with_queue=with_queue, seed=seed,
+                            **config_overrides)
     controller = ChaosController(cluster, plan, seed=seed,
                                  trace_network=trace_network)
     workload = ChaosWorkload(cluster, controller, seed=seed)

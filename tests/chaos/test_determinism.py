@@ -8,6 +8,9 @@ trigger, and transaction outcome) and the same final simulated clock;
 a different seed must diverge.
 """
 
+import hashlib
+import json
+
 from repro.chaos import (
     BitRotAt,
     CrashAt,
@@ -48,6 +51,36 @@ def test_same_seed_reproduces_run_exactly():
     outcomes_a = [(r.index, r.outcome) for r in run_a.workload.stats.records]
     outcomes_b = [(r.index, r.outcome) for r in run_b.workload.stats.records]
     assert outcomes_a == outcomes_b
+
+
+# Digests of the canonical (PLAN, seed=2026) run, captured before the
+# commit-pipeline refactor landed.  The default ``pipeline="paper"``
+# configuration must keep reproducing them byte for byte: the pluggable
+# pipeline is opt-in, and every historical chaos seed replays unchanged.
+GOLDEN_TRACE_SHA = \
+    "4c3f21a68d959efe7accdb784dd6f445e16f6753d6804ef9de83b5f84e081050"
+GOLDEN_METRICS_SHA = \
+    "47928850e2812f64fae5f7fe6c984c7375b1efb99d6887c4e42a4a19b3d36843"
+GOLDEN_FINAL_NOW = 125577.71966982371
+
+
+def test_paper_pipeline_matches_prerefactor_goldens():
+    """The paper pipeline is byte-identical to the pre-refactor code.
+
+    If this fails, a change altered default behaviour -- either gate it
+    behind :class:`~repro.core.config.CommitConfig` or (for a deliberate
+    semantic change) recapture the digests and say so in the commit.
+    """
+    from repro.obs import metrics_json
+
+    run, trace, now = execute(seed=2026)
+    trace_sha = hashlib.sha256(repr(trace).encode()).hexdigest()
+    metrics_sha = hashlib.sha256(json.dumps(
+        metrics_json(run.cluster.metrics),
+        sort_keys=True).encode()).hexdigest()
+    assert now == GOLDEN_FINAL_NOW
+    assert trace_sha == GOLDEN_TRACE_SHA
+    assert metrics_sha == GOLDEN_METRICS_SHA
 
 
 def test_different_seed_diverges():
