@@ -25,14 +25,13 @@ if __package__ in (None, ""):  # running as a script, not under pytest
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import REPO_ROOT, baseline_main, write_result
 from repro.perf.throughput import compare_pipelines, run_throughput
 
 CONCURRENCIES = (1, 2, 4, 8)
 #: concurrency levels for the paper-versus-grouped pipeline comparison
 PIPELINE_CONCURRENCIES = (1, 4, 16)
-BASELINE_PATH = Path(__file__).resolve().parent.parent / \
-    "BENCH_throughput.json"
+BASELINE_PATH = REPO_ROOT / "BENCH_throughput.json"
 
 
 @pytest.fixture(scope="module")
@@ -170,40 +169,26 @@ def test_baseline_json_matches_current_tree(pipeline_results):
     assert committed == baseline_payload(duration_ms=10_000.0)
 
 
+def smoke_check(payload: dict) -> tuple[bool, str]:
+    paper_16 = payload["pipelines"]["paper"][-1]
+    grouped_16 = payload["pipelines"]["grouped"][-1]
+    ok = (payload["speedup_at_16_clients"] >= 2.0
+          and grouped_16["forces_per_commit"] < 1.0
+          and paper_16["forces_per_commit"] >= 1.0)
+    return ok, (f"speedup={payload['speedup_at_16_clients']}x, "
+                f"grouped forces/commit={grouped_16['forces_per_commit']}")
+
+
 def main(argv: list[str] | None = None) -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(
-        description="Regenerate the commit-pipeline throughput baseline.")
-    parser.add_argument("--json", action="store_true",
-                        help="write BENCH_throughput.json at the repo root")
-    parser.add_argument("--smoke", action="store_true",
-                        help="short windows (CI); implies stdout-only "
-                             "unless --json is also given")
-    parser.add_argument("--output", type=Path, default=None,
-                        help="override the output path for --json")
-    args = parser.parse_args(argv)
-
-    duration_ms = 2_000.0 if args.smoke else 10_000.0
-    payload = baseline_payload(duration_ms=duration_ms)
-    text = json.dumps(payload, indent=2) + "\n"
-    if args.json:
-        output = args.output or BASELINE_PATH
-        output.write_text(text)
-        print(f"wrote {output}")
-    print(text, end="")
-    if args.smoke:
-        paper_16 = payload["pipelines"]["paper"][-1]
-        grouped_16 = payload["pipelines"]["grouped"][-1]
-        ok = (payload["speedup_at_16_clients"] >= 2.0
-              and grouped_16["forces_per_commit"] < 1.0
-              and paper_16["forces_per_commit"] >= 1.0)
-        print(f"smoke {'PASS' if ok else 'FAIL'}: "
-              f"speedup={payload['speedup_at_16_clients']}x, "
-              f"grouped forces/commit="
-              f"{grouped_16['forces_per_commit']}")
-        return 0 if ok else 1
-    return 0
+    return baseline_main(
+        argv,
+        description="Regenerate the commit-pipeline throughput baseline.",
+        baseline_path=BASELINE_PATH,
+        payload_fn=lambda duration_ms:
+            baseline_payload(duration_ms=duration_ms),
+        full_duration_ms=10_000.0,
+        smoke_duration_ms=2_000.0,
+        smoke_check=smoke_check)
 
 
 if __name__ == "__main__":

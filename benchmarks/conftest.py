@@ -1,4 +1,4 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and CLI plumbing for the benchmark harness.
 
 Each ``bench_table_*`` module regenerates one table of the paper's
 evaluation.  The rendered paper-versus-reproduction tables are written to
@@ -7,9 +7,17 @@ live); EXPERIMENTS.md summarizes the outcomes.
 
 The expensive work (running all fourteen benchmarks under three
 configurations) is done once per session and shared.
+
+Workload benches (``bench_throughput``, ``bench_debitcredit``) double as
+scripts that regenerate a committed ``BENCH_*.json`` baseline at the repo
+root; :func:`baseline_main` is the shared ``--json/--smoke/--output``
+entry point so each bench file only supplies its payload function and its
+smoke gate.
 """
 
+import json
 from pathlib import Path
+from typing import Callable
 
 import pytest
 
@@ -18,12 +26,56 @@ from repro.core.config import TabsConfig
 from repro.perf.projections import run_table_5_4
 
 RESULTS_DIR = Path(__file__).parent / "results"
+#: the repository root, where committed ``BENCH_*.json`` baselines live
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / name).write_text(text + "\n")
     print("\n" + text)
+
+
+def baseline_main(argv: list[str] | None, *, description: str,
+                  baseline_path: Path,
+                  payload_fn: Callable[[float], dict],
+                  full_duration_ms: float,
+                  smoke_duration_ms: float,
+                  smoke_check: Callable[[dict], tuple[bool, str]]) -> int:
+    """Shared CLI for baseline-regenerating benches.
+
+    ``payload_fn(duration_ms)`` produces the JSON-ready payload (the
+    simulation is deterministic, so payloads carry no timestamps and
+    regenerating an unchanged tree is a no-op diff).  ``smoke_check``
+    returns ``(ok, summary_line)`` for the shortened CI variant; CI runs
+    ``--smoke --json --output BENCH_<name>.smoke.json`` and uploads the
+    artifact.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--json", action="store_true",
+                        help=f"write {baseline_path.name} at the repo root")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows (CI); exit nonzero if the "
+                             "smoke gate fails")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="override the output path for --json")
+    args = parser.parse_args(argv)
+
+    duration_ms = smoke_duration_ms if args.smoke else full_duration_ms
+    payload = payload_fn(duration_ms)
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.json:
+        output = args.output or baseline_path
+        output.write_text(text)
+        print(f"wrote {output}")
+    print(text, end="")
+    if args.smoke:
+        ok, summary = smoke_check(payload)
+        print(f"smoke {'PASS' if ok else 'FAIL'}: {summary}")
+        return 0 if ok else 1
+    return 0
 
 
 @pytest.fixture(scope="session")

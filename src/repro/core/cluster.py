@@ -79,6 +79,19 @@ class TabsCluster:
     def add_server(self, node_name: str, factory: Callable) -> None:
         self.node(node_name).add_server(factory)
 
+    def build_workload(self):
+        """Build the nodes and servers of ``config.workload``.
+
+        Lays the configured workload schema (see
+        :class:`~repro.core.config.WorkloadConfig`) over this cluster --
+        one node per branch, each hosting its branch/teller/account/
+        history servers -- starts every node, and returns the topology
+        object the load generators and audits navigate by.
+        """
+        from repro.workloads import build_workload
+
+        return build_workload(self)
+
     def start(self) -> None:
         """Bring every node's servers up (runs the simulation)."""
         for tabs_node in self.nodes.values():

@@ -80,6 +80,100 @@ class CommitConfig:
 
 
 @dataclass(frozen=True)
+class WorkloadConfig:
+    """The banking schema a workload-driven cluster is built around.
+
+    Mirrors :class:`CommitConfig`: an immutable selector-plus-knobs block
+    hanging off :class:`TabsConfig`, consumed by
+    :meth:`~repro.core.cluster.TabsCluster.build_workload`.  The one
+    schema today is ``"debitcredit"`` -- Jim Gray's DebitCredit / TPC-B
+    banking workload (*Thousands of DebitCredit Transactions-Per-Second
+    in Low-Cost Systems*): each branch comprises the branch balance row
+    (the hot row every local transaction updates), its tellers, its
+    account partition, and its history strands, with
+    ``branches_per_node`` branches co-hosted per cluster node.
+
+    ``branches_per_node`` matters for the commit pipeline: within one
+    branch, strict two-phase locking on the hot row serializes commits,
+    so a node hosting a single branch never has two log forces in
+    flight and group commit has nothing to coalesce.  Co-hosted
+    branches commit independently against the *same* serial log device
+    -- the regime where the ``grouped`` pipeline amortizes one physical
+    force across every branch committing in the window.
+
+    ``accounts_per_branch`` scales to millions of *logical* accounts:
+    account cells live in a sparse recoverable segment whose pages
+    materialize only when written, so segment size is address-space, not
+    memory.  ``locality`` is the probability that a transaction debits an
+    account of its home branch; the remainder pick a uniformly random
+    remote branch, making the transaction a cross-node 2PC.
+    """
+
+    #: workload schema; only "debitcredit" exists today
+    schema: str = "debitcredit"
+    branches: int = 2
+    #: branches co-hosted on one cluster node (ceil-divided; the last
+    #: node may hold fewer)
+    branches_per_node: int = 1
+    tellers_per_branch: int = 10
+    #: logical accounts per branch (sparse; pages materialize on write)
+    accounts_per_branch: int = 100_000
+    #: probability a transaction's account belongs to its home branch
+    locality: float = 0.9
+    #: transaction amounts are drawn uniformly from [1, max_delta], signed
+    max_delta: int = 999
+    #: history capacity per teller strand (rows, not bytes)
+    history_slots_per_teller: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.schema != "debitcredit":
+            raise ValueError(f"unknown workload schema {self.schema!r}")
+        if self.branches < 1:
+            raise ValueError("need at least one branch")
+        if self.branches_per_node < 1:
+            raise ValueError("need at least one branch per node")
+        if self.tellers_per_branch < 1:
+            raise ValueError("need at least one teller per branch")
+        if self.accounts_per_branch < 1:
+            raise ValueError("need at least one account per branch")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality is a probability")
+        if self.max_delta < 1:
+            raise ValueError("max_delta must be >= 1")
+        if self.history_slots_per_teller < 1:
+            raise ValueError("need at least one history slot per teller")
+        from repro.core.facility import SEGMENT_VA_STRIDE
+
+        for rows, what in ((self.accounts_per_branch, "accounts"),
+                           ((self.tellers_per_branch
+                             * (1 + self.history_slots_per_teller)),
+                            "history slots")):
+            if rows * 4 > SEGMENT_VA_STRIDE:  # 4-byte cells, one segment
+                raise ValueError(
+                    f"{what} per branch exceed one recoverable segment "
+                    f"({SEGMENT_VA_STRIDE // 4} cells)")
+
+    @property
+    def total_accounts(self) -> int:
+        return self.branches * self.accounts_per_branch
+
+    @property
+    def nodes(self) -> int:
+        """Cluster nodes needed to host every branch."""
+        return -(-self.branches // self.branches_per_node)
+
+    @classmethod
+    def debitcredit(cls, **overrides) -> "WorkloadConfig":
+        """The default two-branch schema (hot row + cross-node traffic)."""
+        return cls(**overrides)
+
+    @classmethod
+    def millions(cls) -> "WorkloadConfig":
+        """Four branches x one million sparse accounts each."""
+        return cls(branches=4, accounts_per_branch=1_000_000)
+
+
+@dataclass(frozen=True)
 class TabsConfig:
     """Everything needed to build a cluster."""
 
@@ -105,6 +199,8 @@ class TabsConfig:
     #: commit/logging pipeline (group commit, datagram coalescing); the
     #: default reproduces the paper's per-record forces exactly
     commit: CommitConfig = field(default_factory=CommitConfig)
+    #: banking schema built by :meth:`TabsCluster.build_workload`
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     seed: int = 1985
 
     @classmethod

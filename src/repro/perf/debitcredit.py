@@ -1,0 +1,164 @@
+"""DebitCredit throughput: TPS, abort rate, and latency distribution.
+
+The Section 7 methodology of :mod:`repro.perf.throughput` applied to the
+banking workload of :mod:`repro.workloads.debitcredit`: N closed-loop
+clients -- each homed on a branch, round-robin -- run DebitCredit
+transactions for a window of simulated time, and the harness reports
+committed transactions per second, the abort rate, physical log forces
+per commit, and a log-bucket latency histogram of the full
+begin-to-commit path.
+
+Where the throughput module's ``disjoint``/``shared`` cells isolate the
+locking effect synthetically, DebitCredit is the *composed* case: every
+local transaction serializes on its branch's hot balance row for the
+branch-update-plus-commit window, ``1 - locality`` of the traffic spans
+two nodes (real 2PC), and every transaction appends history.  Commit
+latency is therefore the throughput ceiling -- the hot row admits one
+committer at a time per branch -- which is exactly what the ``grouped``
+commit pipeline attacks by amortizing log forces across the prepare and
+commit records queued inside one force window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.cluster import TabsCluster
+from repro.core.config import CommitConfig, TabsConfig, WorkloadConfig
+from repro.obs.metrics import Histogram
+from repro.perf.throughput import PIPELINE_CONFIGS
+from repro.sim import Timeout
+from repro.workloads.debitcredit import debitcredit_txn, draw_spec
+
+
+@dataclass
+class DebitCreditResult:
+    clients: int
+    duration_ms: float
+    committed: int
+    aborted: int
+    #: committed transactions that spanned two nodes (remote account)
+    remote_committed: int = 0
+    #: physical log forces across every node during the window
+    forces: int = 0
+    pipeline: str = "paper"
+    #: begin-to-commit latency of committed transactions (simulated ms)
+    latency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def tps(self) -> float:
+        return self.committed / (self.duration_ms / 1000.0)
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.committed + self.aborted
+        return self.aborted / attempts if attempts else 0.0
+
+    @property
+    def forces_per_commit(self) -> float:
+        return self.forces / self.committed if self.committed else 0.0
+
+    def latency_summary(self) -> dict:
+        return self.latency.snapshot()
+
+
+def run_debitcredit(clients: int, duration_ms: float = 30_000.0,
+                    config: TabsConfig | None = None,
+                    commit: CommitConfig | None = None,
+                    workload: WorkloadConfig | None = None,
+                    ) -> DebitCreditResult:
+    """Measure DebitCredit TPS at a given closed-loop client count.
+
+    ``commit`` and ``workload`` override those blocks of ``config`` (or
+    of a default config), so sweeps can hold everything else fixed.  The
+    run is a pure function of the configuration: every client draws its
+    transaction stream from its own seeded RNG.
+    """
+    base = config or TabsConfig()
+    if commit is not None:
+        base = base.with_(commit=commit)
+    if workload is not None:
+        base = base.with_(workload=workload)
+    cluster = TabsCluster(base)
+    topology = cluster.build_workload()
+    schema = base.workload
+    forces_before = sum(node.rm.wal.forces
+                       for node in cluster.nodes.values())
+
+    committed = [0]
+    aborted = [0]
+    remote_committed = [0]
+    latency = Histogram()
+    deadline = cluster.engine.now + duration_ms
+
+    def worker(index: int):
+        home = topology.client_home(index)
+        node_name = topology.node_name(home)
+        rng = random.Random((base.seed * 1_000_003) ^ (index * 7919))
+        app = cluster.application(node_name)
+        while cluster.engine.now < deadline:
+            spec = draw_spec(rng, schema, home)
+            started = cluster.engine.now
+            tid = yield from app.begin_transaction()
+            try:
+                yield from debitcredit_txn(app, topology, spec, tid)
+            except Exception:
+                yield from app.abort_transaction(tid)
+                aborted[0] += 1
+                continue
+            ok = yield from app.end_transaction(tid)
+            if ok and cluster.engine.now <= deadline:
+                committed[0] += 1
+                if spec.remote:
+                    remote_committed[0] += 1
+                elapsed = cluster.engine.now - started
+                latency.observe(elapsed)
+                cluster.ctx.metrics.histogram(
+                    node_name, "debitcredit.txn_ms").observe(elapsed)
+            elif not ok:
+                aborted[0] += 1
+
+    workers = [cluster.spawn_on(
+                   topology.node_name(topology.client_home(index)),
+                   worker(index), name=f"client{index}")
+               for index in range(clients)]
+
+    def sentinel():
+        # Keeps time advancing even if every client blocks on a lock.
+        yield Timeout(cluster.engine, duration_ms)
+
+    cluster.spawn_on(topology.node_name(0), sentinel(), name="sentinel")
+    for process in workers:
+        cluster.engine.run_until(process)
+    forces = sum(node.rm.wal.forces
+                 for node in cluster.nodes.values()) - forces_before
+    return DebitCreditResult(clients=clients, duration_ms=duration_ms,
+                             committed=committed[0], aborted=aborted[0],
+                             remote_committed=remote_committed[0],
+                             forces=forces, pipeline=base.commit.pipeline,
+                             latency=latency)
+
+
+def debitcredit_sweep(client_counts: list[int],
+                      duration_ms: float = 30_000.0,
+                      config: TabsConfig | None = None,
+                      ) -> list[DebitCreditResult]:
+    return [run_debitcredit(clients, duration_ms, config=config)
+            for clients in client_counts]
+
+
+def compare_debitcredit_pipelines(client_counts: list[int],
+                                  duration_ms: float = 15_000.0,
+                                  workload: WorkloadConfig | None = None,
+                                  ) -> dict[str, list[DebitCreditResult]]:
+    """The hot-row study: both commit pipelines, same serial log device.
+
+    Reuses :data:`~repro.perf.throughput.PIPELINE_CONFIGS` so the
+    DebitCredit comparison and the synthetic one measure the exact same
+    two pipeline configurations.
+    """
+    return {name: [run_debitcredit(clients, duration_ms, commit=commit,
+                                   workload=workload)
+                   for clients in client_counts]
+            for name, commit in PIPELINE_CONFIGS.items()}

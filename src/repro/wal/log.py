@@ -64,6 +64,18 @@ class WriteAheadLog:
             getattr(commit, "serial_log_device", False))
         self._device_free_at: float = 0.0
 
+    def device_busy_for(self) -> float:
+        """Milliseconds until the serial log device frees (0 when idle).
+
+        Always 0 under the paper's overlapping device model.  The group
+        pipeline uses this to keep its batch window open while a force
+        is in flight, so the next physical force carries every waiter
+        that accumulated during the flight.
+        """
+        if not self.serial_log_device:
+            return 0.0
+        return max(0.0, self._device_free_at - self.ctx.now)
+
     # -- state ---------------------------------------------------------------
 
     @property

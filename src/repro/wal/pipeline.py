@@ -56,6 +56,13 @@ class GroupCommitPipeline:
     when ``batch_cap`` requests are pending.  One stable-storage write
     completes all waiters at once.
 
+    Over a *serial* log device the window is additionally device-aware:
+    if a physical force is in flight when the window expires, the batch
+    keeps accumulating until the device frees.  Without this, a backlogged
+    device degenerates group commit into a FIFO of near-singleton batches
+    -- every request that arrived during the 79 ms flight would force
+    separately -- which is precisely the regime group commit exists for.
+
     Crash semantics: a node crash inside the window (or during the
     physical write) loses the volatile log buffer, so *none* of the
     batched records become durable and no waiter is completed -- the
@@ -102,9 +109,21 @@ class GroupCommitPipeline:
     def _window_expired(self, epoch: int) -> None:
         if epoch != self._epoch:
             return  # the node crashed; a new incarnation owns the log now
+        if not self._pending:
+            self._window_open = False
+            return
+        busy_for = self.wal.device_busy_for()
+        if busy_for > 0.0:
+            # A force is occupying the serial log device: flushing now
+            # would just queue a tiny batch behind it.  Hold the window
+            # open until the device frees -- the classic group-commit
+            # move -- so one physical force completes every waiter that
+            # accumulated during the in-flight write.
+            self.ctx.engine.schedule(
+                busy_for, lambda: self._window_expired(epoch))
+            return
         self._window_open = False
-        if self._pending:
-            self._begin_flush()
+        self._begin_flush()
 
     def _begin_flush(self) -> None:
         batch, self._pending = self._pending, []

@@ -1,0 +1,52 @@
+"""``repro.workloads``: application schemas layered on the facility.
+
+A *workload* is a complete banking-style schema -- data servers, node
+topology, a seeded load generator, and the invariant audits that make its
+results credible -- selected by :class:`~repro.core.config.WorkloadConfig`
+and built over a :class:`~repro.core.cluster.TabsCluster` via
+:meth:`~repro.core.cluster.TabsCluster.build_workload`.
+
+The first (and canonical) workload is Gray's DebitCredit / TPC-B banking
+benchmark (:mod:`repro.workloads.debitcredit`): the "heavy traffic"
+stressor whose hot branch row punishes two-phase locking and whose
+history append rewards group commit.
+"""
+
+from repro.workloads.debitcredit import (
+    AccountServer,
+    BranchServer,
+    DebitCreditTopology,
+    DebitCreditWorkload,
+    HistoryServer,
+    TellerServer,
+    TxnSpec,
+    build_debitcredit,
+    debitcredit_txn,
+    draw_spec,
+)
+
+#: schema name -> builder(cluster) -> topology
+_BUILDERS = {
+    "debitcredit": build_debitcredit,
+}
+
+
+def build_workload(cluster):
+    """Build the workload selected by ``cluster.config.workload``."""
+    schema = cluster.config.workload.schema
+    return _BUILDERS[schema](cluster)
+
+
+__all__ = [
+    "AccountServer",
+    "BranchServer",
+    "DebitCreditTopology",
+    "DebitCreditWorkload",
+    "HistoryServer",
+    "TellerServer",
+    "TxnSpec",
+    "build_debitcredit",
+    "build_workload",
+    "debitcredit_txn",
+    "draw_spec",
+]

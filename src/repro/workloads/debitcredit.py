@@ -1,0 +1,671 @@
+"""Gray's DebitCredit banking workload over the TABS facility.
+
+The schema is the TPC-B / *Thousands of DebitCredit Transactions-Per-
+Second in Low-Cost Systems* bank: every **branch** has a balance row,
+``tellers_per_branch`` teller rows, an account partition of
+``accounts_per_branch`` logical accounts, and a history file.  One
+DebitCredit transaction moves a signed amount through all four tiers::
+
+    update account  (the customer's row; usually the home branch's)
+    update teller   (the teller the customer walked up to)
+    update branch   (the HOT row: every local transaction writes it)
+    append history  (one row per transaction; rewards group commit)
+
+Branches are packed ``branches_per_node`` to a cluster node (``bank0``,
+``bank1``, ...), so a transaction whose account lives at a branch on
+another node -- up to ``1 - locality`` of the traffic -- becomes a
+cross-node two-phase commit.  The branch balance row is the canonical
+hot spot: under strict two-phase locking it is held from the branch
+update until commit completes, so commit-path latency (log forces, 2PC
+datagrams) translates directly into lost throughput.  Within a branch
+that serializes commits outright; across co-hosted branches the commits
+are independent but share one serial log device.  That combination is
+exactly the regime where the ``grouped`` commit pipeline earns its
+keep: one physical force completes every co-hosted branch's commit
+queued in the window.
+
+Money conservation is the workload's master invariant: branches,
+tellers, and accounts are three redundant ledgers of the same flows, so
+after a drain ``sum(branches) == sum(tellers) == sum(accounts) ==
+sum(history amounts)`` whatever committed, aborted, or died mid-2PC --
+and the history row count equals the number of committed transactions.
+:class:`DebitCreditWorkload` drives seeded traffic (optionally under a
+chaos controller) and audits all of it.
+
+Accounts scale to millions per branch: cells live in a *sparse*
+recoverable segment -- pages materialize only when first written, and
+the simulated disk stores only written sectors -- so segment size costs
+address space, not memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ServerError
+from repro.kernel.disk import PAGE_SIZE
+from repro.locking.modes import READ, WRITE
+from repro.recovery.audit import (
+    AuditReport,
+    AuditViolation,
+    audit_atomicity,
+    audit_client_commits,
+    audit_committed_values,
+    audit_drainage,
+    audit_storage_integrity,
+)
+from repro.servers.base import BaseDataServer
+from repro.txn.ids import TransactionID
+
+#: cells are one word, as in the integer array server
+WORD_SIZE = 4
+
+
+def pages_for(rows: int) -> int:
+    """Segment pages needed to address ``rows`` one-word cells."""
+    return max(1, -(-rows * WORD_SIZE // PAGE_SIZE))
+
+
+class RowOutOfRange(ServerError):
+    """A row index outside the server's configured scale."""
+
+
+class BalanceServer(BaseDataServer):
+    """A recoverable array of balance rows with read-modify-write ops.
+
+    The DebitCredit tiers (branch, teller, account) differ only in scale
+    and in which rows are hot; the operations are shared.  Unlike the
+    integer array's GetCell/SetCell, the update is a single
+    ``add_to_balance`` operation -- one RPC locks, reads, adjusts, and
+    logs the row, which is both how the original workload is written and
+    what keeps the per-transaction message count at one per tier.
+    """
+
+    TYPE_NAME = "balance_server"
+
+    def __init__(self, tabs_node, name: str, rows: int) -> None:
+        super().__init__(tabs_node, name)
+        self.rows = rows
+        self.SEGMENT_PAGES = pages_for(rows)
+
+    def _row_oid(self, row: int):
+        if not 1 <= row <= self.rows:
+            raise RowOutOfRange(
+                f"{self.name}: row {row} outside 1..{self.rows}")
+        va = self.base_va + (row - 1) * WORD_SIZE
+        return self.library.create_object_id(va, WORD_SIZE)
+
+    def op_get_balance(self, body: dict, tid: TransactionID):
+        oid = self._row_oid(body["row"])
+        yield from self.library.lock_object(tid, oid, READ)
+        value = yield from self.library.read_object(oid)
+        return {"balance": int(value) if value is not None else 0}
+
+    def op_add_to_balance(self, body: dict, tid: TransactionID):
+        """Lock, read, add ``amount``, log -- the DebitCredit update."""
+        oid = self._row_oid(body["row"])
+        amount = int(body["amount"])
+        lib = self.library
+        yield from lib.lock_object(tid, oid, WRITE)
+        yield from lib.pin_and_buffer(tid, oid)
+        old = yield from lib.read_object(oid)
+        balance = (int(old) if old is not None else 0) + amount
+        yield from lib.write_object(oid, balance)
+        yield from lib.log_and_unpin(tid, oid)
+        self.node.ctx.metrics.counter(self.node.name,
+                                      f"{self.TYPE_NAME}.updates").inc()
+        return {"balance": balance}
+
+
+class BranchServer(BalanceServer):
+    """One row: the branch balance, the workload's hot spot."""
+
+    TYPE_NAME = "branch_server"
+
+
+class TellerServer(BalanceServer):
+    """The branch's teller balances (row = teller number)."""
+
+    TYPE_NAME = "teller_server"
+
+
+class AccountServer(BalanceServer):
+    """The branch's account partition -- sparse, possibly millions."""
+
+    TYPE_NAME = "account_server"
+
+
+class HistoryServer(BaseDataServer):
+    """The history file, laid out as one append strand per teller.
+
+    A global append pointer would be a *second* hot row, which Gray's
+    paper avoids by partitioning the history file; here each teller owns
+    a strand (its transactions already serialize on the teller balance
+    row, so the strand's cursor cell adds no new contention).  Cell
+    layout: cells ``1..strands`` are the per-strand cursors, then strand
+    ``s`` (0-based) stores row ``k`` at cell
+    ``strands + s * slots + k + 1``.  An aborted transaction's cursor
+    bump and row image both roll back through value logging, so the row
+    count is exactly the committed transaction count.
+    """
+
+    TYPE_NAME = "history_server"
+
+    def __init__(self, tabs_node, name: str, strands: int,
+                 slots_per_strand: int) -> None:
+        super().__init__(tabs_node, name)
+        self.strands = strands
+        self.slots = slots_per_strand
+        self.SEGMENT_PAGES = pages_for(strands * (1 + slots_per_strand))
+
+    def _cell_oid(self, cell: int):
+        va = self.base_va + (cell - 1) * WORD_SIZE
+        return self.library.create_object_id(va, WORD_SIZE)
+
+    def _check_strand(self, strand: int) -> None:
+        if not 0 <= strand < self.strands:
+            raise RowOutOfRange(
+                f"{self.name}: strand {strand} outside 0..{self.strands - 1}")
+
+    def op_append(self, body: dict, tid: TransactionID):
+        """Append one history row under ``tid`` (rolls back on abort)."""
+        strand = int(body["strand"])
+        self._check_strand(strand)
+        lib = self.library
+        cursor_oid = self._cell_oid(1 + strand)
+        yield from lib.lock_object(tid, cursor_oid, WRITE)
+        yield from lib.pin_and_buffer(tid, cursor_oid)
+        raw = yield from lib.read_object(cursor_oid)
+        count = int(raw) if raw is not None else 0
+        if count >= self.slots:
+            raise ServerError(f"{self.name}: strand {strand} full "
+                              f"({self.slots} rows)")
+        row = (int(body["amount"]), int(body["branch"]),
+               int(body["teller"]), int(body["account"]))
+        row_oid = self._cell_oid(self.strands + strand * self.slots
+                                 + count + 1)
+        yield from lib.lock_object(tid, row_oid, WRITE)
+        yield from lib.pin_and_buffer(tid, row_oid)
+        yield from lib.write_object(row_oid, row)
+        yield from lib.log_and_unpin(tid, row_oid)
+        yield from lib.write_object(cursor_oid, count + 1)
+        yield from lib.log_and_unpin(tid, cursor_oid)
+        self.node.ctx.metrics.counter(self.node.name,
+                                      "history_server.appends").inc()
+        return {"slot": count}
+
+    def op_strand_count(self, body: dict, tid: TransactionID):
+        strand = int(body["strand"])
+        self._check_strand(strand)
+        oid = self._cell_oid(1 + strand)
+        yield from self.library.lock_object(tid, oid, READ)
+        raw = yield from self.library.read_object(oid)
+        return {"count": int(raw) if raw is not None else 0}
+
+    def op_read_row(self, body: dict, tid: TransactionID):
+        strand, slot = int(body["strand"]), int(body["slot"])
+        self._check_strand(strand)
+        if not 0 <= slot < self.slots:
+            raise RowOutOfRange(f"{self.name}: slot {slot} outside "
+                                f"0..{self.slots - 1}")
+        oid = self._cell_oid(self.strands + strand * self.slots + slot + 1)
+        yield from self.library.lock_object(tid, oid, READ)
+        row = yield from self.library.read_object(oid)
+        return {"row": list(row) if row is not None else None}
+
+
+# -- topology ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DebitCreditTopology:
+    """Where everything lives: branches packed onto ``bank{n}`` nodes.
+
+    Branch ``b`` (its balance row, tellers, account partition, and
+    history strands) is hosted by node ``bank{b // branches_per_node}``.
+    With the default of one branch per node the hot row serializes the
+    node's whole commit stream; co-hosting branches gives each node's
+    log device independent, concurrently committing streams.
+    """
+
+    branches: int
+    branches_per_node: int = 1
+
+    @property
+    def nodes(self) -> int:
+        return -(-self.branches // self.branches_per_node)
+
+    def node_name(self, branch: int) -> str:
+        return f"bank{branch // self.branches_per_node}"
+
+    def branches_on(self, node: str) -> list[int]:
+        return [b for b in range(self.branches)
+                if self.node_name(b) == node]
+
+    def client_home(self, client: int) -> int:
+        """Home branch for closed-loop client ``client``.
+
+        Branches are dealt node-first (branch 0 of node 0, branch 0 of
+        node 1, ..., then the second branch of each node) so that any
+        client count spreads evenly over nodes before it doubles up on
+        branches -- naive ``client % branches`` would pile the first
+        ``branches_per_node`` clients onto one node.
+        """
+        dealt = [branch
+                 for offset in range(self.branches_per_node)
+                 for branch in range(offset, self.branches,
+                                     self.branches_per_node)]
+        return dealt[client % self.branches]
+
+    @property
+    def node_names(self) -> list[str]:
+        return [f"bank{group}" for group in range(self.nodes)]
+
+    def branch_server(self, branch: int) -> str:
+        return f"branch{branch}"
+
+    def teller_server(self, branch: int) -> str:
+        return f"tellers{branch}"
+
+    def account_server(self, branch: int) -> str:
+        return f"accounts{branch}"
+
+    def history_server(self, branch: int) -> str:
+        return f"history{branch}"
+
+
+def build_debitcredit(cluster) -> DebitCreditTopology:
+    """Lay the DebitCredit schema over a *fresh* cluster and start it.
+
+    ``branches_per_node`` branches per node; each branch contributes its
+    balance row, teller array, (sparse) account partition, and
+    per-teller history strands.  Reads the scale from
+    ``cluster.config.workload``.
+    """
+    workload = cluster.config.workload
+    topology = DebitCreditTopology(
+        branches=workload.branches,
+        branches_per_node=workload.branches_per_node)
+    for node in topology.node_names:
+        cluster.add_node(node)
+    for branch in range(workload.branches):
+        node = topology.node_name(branch)
+        cluster.add_server(node, BranchServer.factory(
+            topology.branch_server(branch), rows=1))
+        cluster.add_server(node, TellerServer.factory(
+            topology.teller_server(branch),
+            rows=workload.tellers_per_branch))
+        cluster.add_server(node, AccountServer.factory(
+            topology.account_server(branch),
+            rows=workload.accounts_per_branch))
+        cluster.add_server(node, HistoryServer.factory(
+            topology.history_server(branch),
+            strands=workload.tellers_per_branch,
+            slots_per_strand=workload.history_slots_per_teller))
+    cluster.start()
+    return topology
+
+
+# -- the transaction -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """One DebitCredit transaction, fully decided before it runs."""
+
+    home_branch: int
+    teller: int          # 1..tellers_per_branch, in the home branch
+    account_branch: int  # == home_branch for `locality` of the traffic
+    account: int         # 1..accounts_per_branch, in account_branch
+    amount: int          # signed, never zero
+
+    @property
+    def remote(self) -> bool:
+        return self.account_branch != self.home_branch
+
+
+def draw_spec(rng: random.Random, workload, home_branch: int) -> TxnSpec:
+    """Draw one transaction: 90/10 branch locality, signed amount."""
+    if (workload.branches > 1
+            and rng.random() >= workload.locality):
+        others = [b for b in range(workload.branches) if b != home_branch]
+        account_branch = rng.choice(others)
+    else:
+        account_branch = home_branch
+    magnitude = rng.randint(1, workload.max_delta)
+    return TxnSpec(
+        home_branch=home_branch,
+        teller=rng.randint(1, workload.tellers_per_branch),
+        account_branch=account_branch,
+        account=rng.randint(1, workload.accounts_per_branch),
+        amount=magnitude if rng.random() < 0.5 else -magnitude)
+
+
+def debitcredit_txn(app, topology: DebitCreditTopology, spec: TxnSpec,
+                    tid: TransactionID):
+    """The transaction body: account, teller, branch (hot row), history.
+
+    The hot branch row is updated *last*, Gray's standard trick: the
+    exclusive lock on the row every sibling wants is held only across
+    the final update and commit, not the whole transaction.  The
+    ordering (accounts < tellers < branches < history) is also a global
+    lock order, so the workload is deadlock-free by construction.
+    """
+    account_ref = yield from app.lookup_one(
+        topology.account_server(spec.account_branch),
+        node_name=topology.node_name(spec.account_branch))
+    yield from app.call(account_ref, "add_to_balance",
+                        {"row": spec.account, "amount": spec.amount}, tid)
+    teller_ref = yield from app.lookup_one(
+        topology.teller_server(spec.home_branch),
+        node_name=topology.node_name(spec.home_branch))
+    yield from app.call(teller_ref, "add_to_balance",
+                        {"row": spec.teller, "amount": spec.amount}, tid)
+    branch_ref = yield from app.lookup_one(
+        topology.branch_server(spec.home_branch),
+        node_name=topology.node_name(spec.home_branch))
+    yield from app.call(branch_ref, "add_to_balance",
+                        {"row": 1, "amount": spec.amount}, tid)
+    history_ref = yield from app.lookup_one(
+        topology.history_server(spec.home_branch),
+        node_name=topology.node_name(spec.home_branch))
+    yield from app.call(history_ref, "append",
+                        {"strand": spec.teller - 1, "amount": spec.amount,
+                         "branch": spec.home_branch, "teller": spec.teller,
+                         "account": spec.account}, tid)
+
+
+# -- the seeded workload driver ------------------------------------------------
+
+
+@dataclass
+class DebitCreditRecord:
+    """One scheduled transaction's fate, as the client saw it."""
+
+    index: int
+    spec: TxnSpec
+    outcome: str = "unknown"  # committed | aborted | failed | unknown | skipped
+    tid: object = None
+    error: str = ""
+
+
+@dataclass
+class DebitCreditStats:
+    records: list[DebitCreditRecord] = field(default_factory=list)
+
+    def outcomes(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    def committed(self) -> list[DebitCreditRecord]:
+        return [r for r in self.records if r.outcome == "committed"]
+
+    def unknown(self) -> list[DebitCreditRecord]:
+        return [r for r in self.records if r.outcome == "unknown"]
+
+
+class DebitCreditWorkload:
+    """Seeded DebitCredit traffic plus the conservation audits.
+
+    Mirrors :class:`~repro.chaos.workload.ChaosWorkload`: every random
+    decision is drawn up front from one seeded RNG, transactions are
+    spawned as processes owned by their home-branch node (a node crash
+    kills its in-flight clients, whose outcomes become ``unknown``), and
+    :meth:`check_invariants` audits the durable state afterwards.  The
+    ``controller`` is optional -- fault-free runs (the property suite)
+    audit the same invariants without one.
+    """
+
+    def __init__(self, cluster, topology: DebitCreditTopology,
+                 controller=None, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.topology = topology
+        self.controller = controller
+        self.workload = cluster.config.workload
+        self.rng = random.Random(seed)
+        self.stats = DebitCreditStats()
+        #: set once every node has been crashed and recovered, which
+        #: rebuilds and flushes the disk image -- the point after which
+        #: the disk-versus-log audits are meaningful
+        self._disk_checkable = False
+        #: durable terminal statuses, immune to log truncation; kept by
+        #: the controller when one is attached, by our own log observers
+        #: otherwise (checkpoints may reclaim COMMITTED records the
+        #: audits still need to see)
+        if controller is None:
+            self.status_history: dict[str, dict] = {}
+            for name, tabs_node in cluster.nodes.items():
+                self.status_history[name] = {}
+                tabs_node.log_store.observers.append(
+                    lambda record, node=name: self._observe(node, record))
+        else:
+            self.status_history = controller.status_history
+
+    def _observe(self, node: str, record) -> None:
+        from repro.wal.records import TransactionStatusRecord, TxnStatus
+
+        if (isinstance(record, TransactionStatusRecord)
+                and record.status in (TxnStatus.COMMITTED,
+                                      TxnStatus.ABORTED)):
+            self.status_history[node].setdefault(
+                record.tid, set()).add(record.status.value)
+
+    @property
+    def engine(self):
+        return self.cluster.engine
+
+    # -- traffic -------------------------------------------------------------
+
+    def schedule_traffic(self, txns: int = 20, first_at_ms: float = 5.0,
+                         spacing_ms: float = 120.0) -> None:
+        """Schedule ``txns`` DebitCredit transactions at jittered instants."""
+        at_ms = first_at_ms
+        for index in range(txns):
+            home = self.rng.randrange(self.workload.branches)
+            spec = draw_spec(self.rng, self.workload, home)
+            record = DebitCreditRecord(index, spec)
+            self.stats.records.append(record)
+            self.engine.schedule(at_ms,
+                                 lambda r=record: self._spawn(r))
+            at_ms += self.rng.uniform(0.3, 1.0) * spacing_ms
+
+    def _spawn(self, record: DebitCreditRecord) -> None:
+        node = self.cluster.node(
+            self.topology.node_name(record.spec.home_branch)).node
+        if not node.alive:
+            record.outcome = "skipped"
+            self._trace(record)
+            return
+        node.spawn(self._transaction(record),
+                   name=f"debitcredit-{record.index}", defused=True)
+
+    def _trace(self, record: DebitCreditRecord) -> None:
+        if self.controller is not None:
+            spec = record.spec
+            self.controller.record(
+                "txn", record.index, "debitcredit", record.outcome,
+                spec.home_branch, spec.teller, spec.account_branch,
+                spec.account, spec.amount)
+
+    def _transaction(self, record: DebitCreditRecord):
+        spec = record.spec
+        app = self.cluster.application(
+            self.topology.node_name(spec.home_branch))
+        try:
+            tid = yield from app.begin_transaction()
+            record.tid = tid
+            yield from debitcredit_txn(app, self.topology, spec, tid)
+            committed = yield from app.end_transaction(tid)
+            record.outcome = "committed" if committed else "aborted"
+        except Exception as error:  # noqa: BLE001 - faults hit anywhere
+            record.error = repr(error)
+            record.outcome = "unknown"
+            yield from self._try_abort(app, record)
+        self._trace(record)
+
+    def _try_abort(self, app, record: DebitCreditRecord):
+        if record.tid is None:
+            record.outcome = "failed"  # never began: definitely no effects
+            return
+        try:
+            yield from app.abort_transaction(record.tid, reason=record.error)
+            record.outcome = "aborted"
+        except Exception:  # noqa: BLE001 - node/TM may be gone
+            pass
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, until_ms: float) -> None:
+        self.engine.run(until=self.engine.now + until_ms)
+
+    def drain(self) -> None:
+        """Fault-free drain: run the simulation to quiescence."""
+        self.cluster.settle()
+
+    def crash_and_recover_all(self) -> None:
+        """Controller-free finale: power-cycle every node, twice.
+
+        The first round turns straggling resolution into durable log
+        state; the second rebuilds the disk image from those logs, after
+        which the disk-versus-log audits apply (and recovery idempotency
+        got exercised for free).
+        """
+        for _ in range(2):
+            for name in sorted(self.cluster.nodes):
+                self.cluster.crash_node(name)
+            for name in sorted(self.cluster.nodes):
+                self.cluster.restart_node(name)
+            self.cluster.settle()
+        self._disk_checkable = True
+
+    def finale(self, quiesce_ms: float = 900_000.0) -> bool:
+        """Repair, quiesce, then crash/recover everything twice (see
+        :meth:`ChaosWorkload.finale`); needs a controller."""
+        self.controller.repair_all()
+        quiet = self.controller.quiesce(max_ms=quiesce_ms)
+        for _ in range(2):
+            for tabs_node in self.cluster.nodes.values():
+                tabs_node.crash()
+            self.controller.repair_all()
+            quiet = self.controller.quiesce(max_ms=quiesce_ms) and quiet
+        self._disk_checkable = True
+        return quiet
+
+    # -- audits --------------------------------------------------------------
+
+    def _read_only(self, node_name: str, body_fn):
+        return self.cluster.run_transaction(node_name, body_fn)
+
+    def _tier_sums(self) -> dict[str, int]:
+        """Per-tier totals, reading only rows the traffic could touch."""
+        touched_accounts: dict[int, set[int]] = {}
+        for record in self.stats.records:
+            touched_accounts.setdefault(
+                record.spec.account_branch, set()).add(record.spec.account)
+        sums = {"branches": 0, "tellers": 0, "accounts": 0, "history": 0,
+                "history_rows": 0}
+        for branch in range(self.workload.branches):
+            node = self.topology.node_name(branch)
+
+            def read_branch(tid, branch=branch, node=node):
+                app = self.cluster.application(node)
+                branch_ref = yield from app.lookup_one(
+                    self.topology.branch_server(branch), node_name=node)
+                reply = yield from app.call(branch_ref, "get_balance",
+                                            {"row": 1}, tid)
+                totals = [reply["balance"], 0, 0, 0, 0]
+                teller_ref = yield from app.lookup_one(
+                    self.topology.teller_server(branch), node_name=node)
+                for row in range(1, self.workload.tellers_per_branch + 1):
+                    reply = yield from app.call(teller_ref, "get_balance",
+                                                {"row": row}, tid)
+                    totals[1] += reply["balance"]
+                account_ref = yield from app.lookup_one(
+                    self.topology.account_server(branch), node_name=node)
+                for row in sorted(touched_accounts.get(branch, ())):
+                    reply = yield from app.call(account_ref, "get_balance",
+                                                {"row": row}, tid)
+                    totals[2] += reply["balance"]
+                history_ref = yield from app.lookup_one(
+                    self.topology.history_server(branch), node_name=node)
+                for strand in range(self.workload.tellers_per_branch):
+                    reply = yield from app.call(history_ref, "strand_count",
+                                                {"strand": strand}, tid)
+                    count = reply["count"]
+                    totals[4] += count
+                    for slot in range(count):
+                        reply = yield from app.call(
+                            history_ref, "read_row",
+                            {"strand": strand, "slot": slot}, tid)
+                        totals[3] += reply["row"][0]
+                return totals
+
+            branch_total, tellers, accounts, history, rows = \
+                self._read_only(node, read_branch)
+            sums["branches"] += branch_total
+            sums["tellers"] += tellers
+            sums["accounts"] += accounts
+            sums["history"] += history
+            sums["history_rows"] += rows
+        return sums
+
+    def check_conservation(self) -> list[AuditViolation]:
+        """The master invariant: three ledgers plus the history agree.
+
+        Branch, teller, and account tiers each record every committed
+        flow once, so their totals must coincide with each other and
+        with the sum of the history rows; and the history row count must
+        match the committed transaction count (bounded by client-side
+        ``unknown`` outcomes, which may have committed either way).
+        """
+        sums = self._tier_sums()
+        violations = []
+        totals = {sums["branches"], sums["tellers"], sums["accounts"],
+                  sums["history"]}
+        if len(totals) != 1:
+            violations.append(AuditViolation(
+                "conservation",
+                detail=f"tier totals diverge: branches={sums['branches']} "
+                       f"tellers={sums['tellers']} "
+                       f"accounts={sums['accounts']} "
+                       f"history={sums['history']}"))
+        committed = len(self.stats.committed())
+        unknown = len(self.stats.unknown())
+        if not committed <= sums["history_rows"] <= committed + unknown:
+            violations.append(AuditViolation(
+                "history-count",
+                detail=f"{sums['history_rows']} history rows for "
+                       f"{committed} committed (+{unknown} unknown) txns"))
+        committed_total = sum(r.spec.amount for r in self.stats.committed())
+        if unknown == 0 and sums["history"] != committed_total:
+            violations.append(AuditViolation(
+                "history-amounts",
+                detail=f"history sums to {sums['history']}, committed "
+                       f"amounts sum to {committed_total}"))
+        return violations
+
+    def check_invariants(self, quiet: bool = True) -> AuditReport:
+        """Conservation plus the standard durable-state audits."""
+        history = self.status_history
+        report = audit_atomicity(self.cluster, history=history)
+        if not quiet:
+            report.violations.append(AuditViolation(
+                "no-quiescence",
+                detail="simulation still busy after repair deadline"))
+        report.extend(audit_client_commits(
+            self.cluster,
+            [r.tid for r in self.stats.committed() if r.tid is not None],
+            history=history))
+        if self._disk_checkable:
+            # Before a crash-all/recover-all, committed values may still
+            # (legitimately) live only in volatile page frames.
+            for tabs_node in self.cluster.nodes.values():
+                report.extend(audit_committed_values(tabs_node))
+                report.extend(audit_storage_integrity(tabs_node))
+        report.extend(self.check_conservation())
+        self.cluster.settle()
+        report.extend(audit_drainage(self.cluster))
+        return report

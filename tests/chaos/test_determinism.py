@@ -125,6 +125,51 @@ def test_corruption_weight_zero_leaves_random_plans_unchanged():
         assert baseline == explicit
 
 
+def execute_debitcredit(seed: int):
+    """A fault-free DebitCredit run; returns its observable fingerprint.
+
+    The workload threads one seed through spec draws, spawn jitter, and
+    the cluster RNG, so the fingerprint (every outcome, the full metrics
+    dump, the final clock) must be a pure function of ``seed``.
+    """
+    from repro.core.cluster import TabsCluster
+    from repro.core.config import TabsConfig, WorkloadConfig
+    from repro.obs import metrics_json
+    from repro.workloads import DebitCreditWorkload
+
+    config = TabsConfig(seed=seed, workload=WorkloadConfig(
+        branches=2, accounts_per_branch=300, tellers_per_branch=4,
+        locality=0.7))
+    cluster = TabsCluster(config)
+    topology = cluster.build_workload()
+    driver = DebitCreditWorkload(cluster, topology, seed=seed)
+    driver.schedule_traffic(txns=10)
+    driver.run(60_000.0)
+    driver.drain()
+    outcomes = [(r.index, r.outcome, r.spec) for r in driver.stats.records]
+    metrics_sha = hashlib.sha256(json.dumps(
+        metrics_json(cluster.metrics), sort_keys=True).encode()).hexdigest()
+    return outcomes, metrics_sha, cluster.engine.now
+
+
+def test_debitcredit_runs_are_seed_deterministic():
+    """Same seed + config -> byte-identical metrics digest and clock."""
+    outcomes_a, metrics_a, now_a = execute_debitcredit(seed=1306)
+    outcomes_b, metrics_b, now_b = execute_debitcredit(seed=1306)
+    assert outcomes_a == outcomes_b
+    assert metrics_a == metrics_b
+    assert now_a == now_b
+    assert all(outcome == "committed" for _, outcome, _ in outcomes_a)
+
+
+def test_debitcredit_different_seed_diverges():
+    outcomes_a, metrics_a, _ = execute_debitcredit(seed=1306)
+    outcomes_b, metrics_b, _ = execute_debitcredit(seed=1307)
+    assert [spec for _, _, spec in outcomes_a] != \
+        [spec for _, _, spec in outcomes_b]
+    assert metrics_a != metrics_b
+
+
 def test_corruption_weight_adds_corruption_episodes():
     nodes = ["n0", "n1", "n2"]
     plans = [random_plan(seed=seed, nodes=nodes, duration_ms=8_000.0,

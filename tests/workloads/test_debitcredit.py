@@ -1,0 +1,210 @@
+"""Unit tests for the DebitCredit schema, servers, and topology."""
+
+import pytest
+
+from repro.core.cluster import TabsCluster
+from repro.core.config import TabsConfig, WorkloadConfig
+from repro.core.facility import SEGMENT_VA_STRIDE
+from repro.kernel.costs import ZERO_COST, ZERO_CPU
+from repro.workloads import DebitCreditTopology, draw_spec
+from repro.workloads.debitcredit import pages_for
+
+
+def zero_cost_config(**overrides) -> TabsConfig:
+    return TabsConfig(profile=ZERO_COST, cpu_costs=ZERO_CPU, **overrides)
+
+
+def build(workload: WorkloadConfig):
+    cluster = TabsCluster(zero_cost_config(workload=workload))
+    topology = cluster.build_workload()
+    return cluster, topology
+
+
+class TestWorkloadConfig:
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(schema="tpcc")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"branches": 0},
+        {"branches_per_node": 0},
+        {"tellers_per_branch": 0},
+        {"accounts_per_branch": 0},
+        {"locality": 1.5},
+        {"locality": -0.1},
+        {"max_delta": 0},
+        {"history_slots_per_teller": 0},
+    ])
+    def test_knob_floors(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+    def test_accounts_must_fit_one_segment(self):
+        cells = SEGMENT_VA_STRIDE // 4
+        WorkloadConfig(accounts_per_branch=cells)  # exactly full: fine
+        with pytest.raises(ValueError):
+            WorkloadConfig(accounts_per_branch=cells + 1)
+
+    def test_history_must_fit_one_segment(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(tellers_per_branch=100,
+                           history_slots_per_teller=SEGMENT_VA_STRIDE)
+
+    def test_node_count_is_ceil_division(self):
+        assert WorkloadConfig(branches=8, branches_per_node=3).nodes == 3
+        assert WorkloadConfig(branches=8, branches_per_node=8).nodes == 1
+        assert WorkloadConfig(branches=2).nodes == 2
+
+    def test_millions_preset_spans_millions_of_accounts(self):
+        preset = WorkloadConfig.millions()
+        assert preset.total_accounts >= 4_000_000
+
+
+class TestTopology:
+    def test_branches_packed_onto_nodes(self):
+        topology = DebitCreditTopology(branches=6, branches_per_node=2)
+        assert topology.nodes == 3
+        assert topology.node_names == ["bank0", "bank1", "bank2"]
+        assert topology.node_name(0) == topology.node_name(1) == "bank0"
+        assert topology.node_name(5) == "bank2"
+        assert topology.branches_on("bank1") == [2, 3]
+
+    def test_client_home_deals_nodes_first(self):
+        topology = DebitCreditTopology(branches=6, branches_per_node=2)
+        homes = [topology.client_home(c) for c in range(6)]
+        # First three clients land on three different nodes.
+        assert [topology.node_name(h) for h in homes[:3]] == \
+            ["bank0", "bank1", "bank2"]
+        assert sorted(homes) == [0, 1, 2, 3, 4, 5]
+
+    def test_client_home_wraps_past_branch_count(self):
+        topology = DebitCreditTopology(branches=3, branches_per_node=3)
+        assert [topology.client_home(c) for c in range(5)] == \
+            [0, 1, 2, 0, 1]
+
+
+class TestDrawSpec:
+    def test_locality_one_never_leaves_home(self):
+        import random
+
+        workload = WorkloadConfig(branches=4, locality=1.0)
+        rng = random.Random(3)
+        specs = [draw_spec(rng, workload, home_branch=2) for _ in range(50)]
+        assert all(s.account_branch == 2 and not s.remote for s in specs)
+        assert all(s.amount != 0 for s in specs)
+
+    def test_locality_zero_always_remote(self):
+        import random
+
+        workload = WorkloadConfig(branches=4, locality=0.0)
+        rng = random.Random(3)
+        specs = [draw_spec(rng, workload, home_branch=2) for _ in range(50)]
+        assert all(s.account_branch != 2 and s.remote for s in specs)
+
+    def test_single_branch_cannot_be_remote(self):
+        import random
+
+        workload = WorkloadConfig(branches=1, locality=0.0)
+        spec = draw_spec(random.Random(1), workload, home_branch=0)
+        assert spec.account_branch == 0
+
+
+class TestServers:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return build(WorkloadConfig(branches=1, tellers_per_branch=2,
+                                    accounts_per_branch=50))
+
+    def test_add_to_balance_accumulates(self, bank):
+        cluster, topology = bank
+
+        def txn(tid):
+            app = cluster.application("bank0")
+            ref = yield from app.lookup_one("tellers0", node_name="bank0")
+            reply = yield from app.call(ref, "add_to_balance",
+                                        {"row": 1, "amount": 70}, tid)
+            assert reply["balance"] == 70
+            reply = yield from app.call(ref, "add_to_balance",
+                                        {"row": 1, "amount": -30}, tid)
+            return reply["balance"]
+
+        assert cluster.run_transaction("bank0", txn) == 40
+
+    def test_row_out_of_range_rejected(self, bank):
+        cluster, topology = bank
+
+        def txn(tid):
+            app = cluster.application("bank0")
+            ref = yield from app.lookup_one("accounts0", node_name="bank0")
+            yield from app.call(ref, "add_to_balance",
+                                {"row": 51, "amount": 1}, tid)
+
+        with pytest.raises(Exception, match="outside"):
+            cluster.run_transaction("bank0", txn)
+
+    def test_history_append_assigns_slots_and_rolls_back(self, bank):
+        cluster, topology = bank
+        app = cluster.application("bank0")
+
+        def append(amount, tid):
+            ref = yield from app.lookup_one("history0", node_name="bank0")
+            return (yield from app.call(
+                ref, "append", {"strand": 0, "amount": amount, "branch": 0,
+                                "teller": 1, "account": 1}, tid))
+
+        def committed(tid):
+            return (yield from append(11, tid))
+
+        assert cluster.run_transaction("bank0", committed)["slot"] == 0
+
+        def aborted():
+            tid = yield from app.begin_transaction()
+            yield from append(99, tid)
+            yield from app.abort_transaction(tid)
+
+        cluster.run_on("bank0", aborted())
+
+        def read(tid):
+            ref = yield from app.lookup_one("history0", node_name="bank0")
+            count = yield from app.call(ref, "strand_count", {"strand": 0},
+                                        tid)
+            row = yield from app.call(ref, "read_row",
+                                      {"strand": 0, "slot": 0}, tid)
+            return count["count"], row["row"]
+
+        count, row = cluster.run_transaction("bank0", read)
+        assert count == 1  # the aborted append's cursor bump rolled back
+        assert row == [11, 0, 1, 1]
+
+    def test_history_strand_capacity_enforced(self):
+        cluster, topology = build(WorkloadConfig(
+            branches=1, tellers_per_branch=1, history_slots_per_teller=2))
+        app = cluster.application("bank0")
+
+        def fill(tid):
+            ref = yield from app.lookup_one("history0", node_name="bank0")
+            for _ in range(3):
+                yield from app.call(
+                    ref, "append", {"strand": 0, "amount": 1, "branch": 0,
+                                    "teller": 1, "account": 1}, tid)
+
+        with pytest.raises(Exception, match="full"):
+            cluster.run_transaction("bank0", fill)
+
+
+class TestBuild:
+    def test_pages_for_rounds_up(self):
+        assert pages_for(1) == 1
+        assert pages_for(128) == 1   # 128 4-byte cells fill one 512B page
+        assert pages_for(129) == 2
+
+    def test_build_places_four_servers_per_branch(self):
+        cluster, topology = build(WorkloadConfig(branches=4,
+                                                 branches_per_node=2,
+                                                 accounts_per_branch=50))
+        assert sorted(cluster.nodes) == ["bank0", "bank1"]
+        names = {name for tabs_node in cluster.nodes.values()
+                 for name in tabs_node.servers}
+        for branch in range(4):
+            assert {f"branch{branch}", f"tellers{branch}",
+                    f"accounts{branch}", f"history{branch}"} <= names
