@@ -63,12 +63,20 @@ class ApplicationLibrary:
             self.ctx.tracer.begin_root(tid, self.node.name)
         return tid
 
-    def end_transaction(self, tid: TransactionID):
-        """Attempt to commit (generator).  Returns True iff committed."""
+    def end_transaction(self, tid: TransactionID, extra: dict | None = None):
+        """Attempt to commit (generator).  Returns True iff committed.
+
+        ``extra`` merges additional fields into the ``tm.end`` request
+        body -- the replication router ships the transaction's replica
+        footprint this way for commit-time validation.
+        """
         if self.measured:
             self.ctx.meter.phase = Phase.COMMIT
+        request = {"tid": tid}
+        if extra:
+            request.update(extra)
         try:
-            body = yield from self._tm_request("tm.end", {"tid": tid})
+            body = yield from self._tm_request("tm.end", request)
         finally:
             if self.measured:
                 self.ctx.meter.phase = Phase.PRE_COMMIT
@@ -98,10 +106,20 @@ class ApplicationLibrary:
     # -- operations on objects ---------------------------------------------------
 
     def call(self, ref: ServiceRef, op: str, body: dict | None = None,
-             tid: TransactionID | None = None):
-        """Invoke an operation on a data server within ``tid`` (generator)."""
-        result = yield from stubs.call(self.network, self.node, ref, op,
-                                       body, tid)
+             tid: TransactionID | None = None,
+             timeout_ms: float | None = None):
+        """Invoke an operation on a data server within ``tid`` (generator).
+
+        ``timeout_ms`` overrides the RPC layer's default response bound
+        for remote targets (background maintenance like replica catch-up
+        uses a short bound so a peer dying mid-call fails the step fast).
+        """
+        if timeout_ms is None:
+            result = yield from stubs.call(self.network, self.node, ref, op,
+                                           body, tid)
+        else:
+            result = yield from stubs.call(self.network, self.node, ref, op,
+                                           body, tid, timeout_ms=timeout_ms)
         return result
 
     def lookup(self, name: str, node_name: str = "", desired: int = 1):

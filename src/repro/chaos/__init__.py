@@ -35,6 +35,8 @@ from repro.chaos.plan import (
     PartitionAt,
     RestartAt,
     TornWriteAt,
+    crash_one_replica_per_shard,
+    isolate_replica,
     random_plan,
 )
 from repro.chaos.workload import (
@@ -64,5 +66,7 @@ __all__ = [
     "TxnRecord",
     "WorkloadStats",
     "build_cluster",
+    "crash_one_replica_per_shard",
+    "isolate_replica",
     "random_plan",
 ]

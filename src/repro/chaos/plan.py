@@ -210,11 +210,46 @@ class FaultPlan:
         return cls(tuple(actions))
 
 
+def crash_one_replica_per_shard(placement, at_ms: float,
+                                restart_after_ms: float | None = None,
+                                stagger_ms: float = 0.0,
+                                rank: int = -1) -> tuple[CrashAt, ...]:
+    """One :class:`CrashAt` per distinct node holding the ``rank``-th
+    copy of some key-space (default: each shard's last copy).
+
+    The availability scenario: with every shard losing one replica, the
+    cluster must keep committing on the surviving copies.  Nodes are
+    deduplicated and crashed in sorted order, ``stagger_ms`` apart, so
+    the plan is deterministic and (with a positive stagger) never takes
+    two replicas of one shard down at the same instant.
+    """
+    targets = sorted({placement.replicas(keyspace)[rank]
+                      for keyspace in placement.keyspaces()})
+    return tuple(CrashAt(at_ms + index * stagger_ms, node,
+                         restart_after_ms=restart_after_ms)
+                 for index, node in enumerate(targets))
+
+
+def isolate_replica(placement, keyspace: str, at_ms: float,
+                    heal_after_ms: float | None = None,
+                    rank: int = -1) -> PartitionAt:
+    """Partition the ``rank``-th replica of ``keyspace`` away from every
+    other placement node (a crashless failure: the detector suspects it,
+    writes degrade, and validation aborts transactions that had written
+    to it)."""
+    node = placement.replicas(keyspace)[rank]
+    others = tuple(other for other in placement.nodes() if other != node)
+    return PartitionAt(at_ms, ((node,), others),
+                       heal_after_ms=heal_after_ms)
+
+
 def random_plan(seed: int, nodes: list[str], duration_ms: float,
                 episodes: int = 4,
                 crash_weight: int = 4, partition_weight: int = 2,
                 link_weight: int = 2, disk_weight: int = 1,
-                corruption_weight: int = 0) -> FaultPlan:
+                corruption_weight: int = 0,
+                replication_weight: int = 0,
+                placement=None) -> FaultPlan:
     """A reproducible random torture schedule over ``nodes``.
 
     Every episode is a bounded fault-and-repair pair (crash+restart,
@@ -223,13 +258,18 @@ def random_plan(seed: int, nodes: list[str], duration_ms: float,
     invariant checks.  ``corruption_weight`` (default 0, so historical
     seeds reproduce byte-identically) adds storage-corruption episodes:
     torn writes at a crash, bit rot on a data page, an armed lost write,
-    or single-copy log-sector rot.  The same ``(seed, nodes,
-    duration_ms, ...)`` always yields the same plan.
+    or single-copy log-sector rot.  ``replication_weight`` (default 0,
+    same guarantee; requires ``placement``) adds replica-targeted
+    episodes: crash or isolate one replica of a random key-space.  The
+    same ``(seed, nodes, duration_ms, ...)`` always yields the same
+    plan.
     """
     rng = random.Random(seed)
     kinds = (["crash"] * crash_weight + ["partition"] * partition_weight
              + ["link"] * link_weight + ["disk"] * disk_weight
-             + ["corrupt"] * corruption_weight)
+             + ["corrupt"] * corruption_weight
+             + ["replica"] * (replication_weight if placement is not None
+                              else 0))
     actions: list[FaultAction] = []
     for _ in range(episodes):
         kind = rng.choice(kinds)
@@ -238,6 +278,17 @@ def random_plan(seed: int, nodes: list[str], duration_ms: float,
         if kind == "crash":
             actions.append(CrashAt(start, rng.choice(nodes),
                                    restart_after_ms=window))
+        elif kind == "replica":
+            keyspace = rng.choice(sorted(placement.keyspaces()))
+            replicas = placement.replicas(keyspace)
+            rank = rng.randrange(len(replicas))
+            if rng.random() < 0.5:
+                actions.append(CrashAt(start, replicas[rank],
+                                       restart_after_ms=window))
+            else:
+                actions.append(isolate_replica(placement, keyspace, start,
+                                               heal_after_ms=window,
+                                               rank=rank))
         elif kind == "corrupt":
             node = rng.choice(nodes)
             flavour = rng.choice(["torn", "rot", "lost", "log-rot"])

@@ -32,6 +32,9 @@ class TabsCluster:
                                datagram_loss_rate=self.config
                                .datagram_loss_rate)
         self.nodes: dict[str, TabsNode] = {}
+        #: key-space sharding, set by the workload builder when
+        #: ``config.replication.enabled`` (see :meth:`set_placement`)
+        self.placement = None
         self._started = False
 
     @property
@@ -68,7 +71,18 @@ class TabsCluster:
             raise TabsError(f"node {name!r} already exists")
         tabs_node = TabsNode(self.ctx, self.network, name, self.config)
         self.nodes[name] = tabs_node
+        if self.placement is not None and tabs_node.replication is not None:
+            tabs_node.replication.placement = self.placement
         return tabs_node
+
+    def set_placement(self, placement) -> None:
+        """Install the key-space :class:`~repro.replication.placement
+        .PlacementMap` on the cluster and every node's replication
+        runtime (workload builders call this before ``start``)."""
+        self.placement = placement
+        for tabs_node in self.nodes.values():
+            if tabs_node.replication is not None:
+                tabs_node.replication.placement = placement
 
     def node(self, name: str) -> TabsNode:
         try:
@@ -145,6 +159,13 @@ class TabsCluster:
                     measured: bool = False) -> ApplicationLibrary:
         return ApplicationLibrary(self.node(node_name).node, self.network,
                                   measured=measured)
+
+    def replicated_application(self, node_name: str):
+        """A :class:`~repro.replication.router.ReplicatedApp` homed on
+        ``node_name`` (requires a placement map)."""
+        from repro.replication.router import ReplicatedApp
+
+        return ReplicatedApp(self, node_name)
 
     def run_transaction(self, node_name: str, body_fn: Callable,
                         measured: bool = False, retries: int = 0):

@@ -80,6 +80,80 @@ class CommitConfig:
 
 
 @dataclass(frozen=True)
+class ReplicationConfig:
+    """Available-copies replication over sharded key-spaces.
+
+    Off by default: the paper's system keeps every recoverable object on
+    exactly one node, and all historical goldens replay byte-identically.
+    With ``enabled``, workload builders shard their logical key-spaces
+    across the data-server nodes via a
+    :class:`~repro.replication.placement.PlacementMap` with
+    ``replication_factor`` copies each, clients route writes to *all
+    available* copies and reads to *any available* copy, and the
+    Transaction Manager validates at commit time that no written replica
+    failed (erasing its in-memory CC state) while the transaction was
+    open -- the RepCRec available-copies protocol layered on the
+    existing 2PC/2PL facility.
+
+    A recovering replica observes a read barrier: it refuses reads until
+    a catch-up pass has merged current versions from its live peers
+    (``catchup_retry_ms``/``catchup_max_retries`` bound the per-peer
+    retry loop when peers are still down or contended).
+    """
+
+    enabled: bool = False
+    #: copies of each key-space (clamped to the node count at build time)
+    replication_factor: int = 2
+    #: base backoff between catch-up attempts against one peer
+    catchup_retry_ms: float = 400.0
+    #: per-peer catch-up attempts before skipping that peer
+    catchup_max_retries: int = 8
+    #: lock wait bound for catch-up snapshot/apply cell locks.  Much
+    #: shorter than the workload's lock time-out: a catch-up chunk that
+    #: hits a convoyed hot cell should fail fast and retry in a gap,
+    #: not park behind the convoy while the read barrier stays up.
+    catchup_lock_timeout_ms: float = 1_500.0
+    #: RPC bound for catch-up calls to the peer.  The default RPC
+    #: time-out (30 s) outlives a whole failover window; a peer that
+    #: dies mid-snapshot must fail the chunk quickly so the retry loop
+    #: can notice the peer is gone and move on.
+    catchup_call_timeout_ms: float = 6_000.0
+    #: how long a prepared 2PC subordinate waits before inquiring about
+    #: the outcome itself.  Replication tightens the single-copy default
+    #: (30 s): a crashed coordinator's in-doubt transactions hold write
+    #: locks on the *surviving* copies of everything they touched, and
+    #: those shards stay frozen until the inquiry resolves them --
+    #: exactly the outage-by-blocking this subsystem exists to shrink.
+    prepared_inquiry_ms: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.catchup_retry_ms < 0:
+            raise ValueError("catchup_retry_ms must be >= 0")
+        if self.catchup_max_retries < 1:
+            raise ValueError("catchup_max_retries must be >= 1")
+        if self.catchup_lock_timeout_ms <= 0:
+            raise ValueError("catchup_lock_timeout_ms must be > 0")
+        if self.catchup_call_timeout_ms <= 0:
+            raise ValueError("catchup_call_timeout_ms must be > 0")
+        if self.prepared_inquiry_ms <= 0:
+            raise ValueError("prepared_inquiry_ms must be > 0")
+
+    @classmethod
+    def off(cls) -> "ReplicationConfig":
+        """Single-copy placement, byte-identical to the paper's system."""
+        return cls()
+
+    @classmethod
+    def available_copies(cls, replication_factor: int = 2,
+                         **overrides) -> "ReplicationConfig":
+        """Write-all-available / read-any-available replication."""
+        return cls(enabled=True, replication_factor=replication_factor,
+                   **overrides)
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """The banking schema a workload-driven cluster is built around.
 
@@ -201,6 +275,9 @@ class TabsConfig:
     commit: CommitConfig = field(default_factory=CommitConfig)
     #: banking schema built by :meth:`TabsCluster.build_workload`
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: available-copies replication of the workload's key-spaces; the
+    #: default (off) keeps every object single-copy as in the paper
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     seed: int = 1985
 
     @classmethod

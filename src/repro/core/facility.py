@@ -61,6 +61,15 @@ class TabsNode:
         #: tracing hooks keep observing across crash/recovery cycles
         self.fd_observers: list = []
         self._pending_media_restore: list[str] | None = None
+        #: available-copies replication runtime; like ``fd_observers`` it
+        #: survives rebuilds (the availability view is knowledge about
+        #: peers, not volatile local state).  None when replication is off.
+        self.replication = None
+        if getattr(config, "replication", None) is not None \
+                and config.replication.enabled:
+            from repro.replication.runtime import ReplicaRuntime
+
+            self.replication = ReplicaRuntime(self)
         self._build()
         #: self-healing: recovery now runs off Node.on_restart, unattended
         self.supervisor = RecoverySupervisor(self)
@@ -92,6 +101,17 @@ class TabsNode:
         self.tm.hold_messages_until_recovered()
         self.tm.checkpoint_every_commits = \
             self.config.checkpoint_every_commits
+        if self.replication is not None:
+            self.tm.replication_validator = self.replication.validate
+            # A dead coordinator's in-doubt locks freeze the surviving
+            # replica copies it wrote; inquire early to unfreeze them.
+            self.tm.prepared_inquiry_ms = \
+                self.config.replication.prepared_inquiry_ms
+            # Don't await 2PC acks from peers the availability view has
+            # down: they cannot answer, and the wait freezes the client.
+            view = self.replication.view
+            self.tm.peer_down_probe = \
+                lambda peer: not view.available(peer)
         self.node.vm.pager_client = RmPagerClient(self.node)
         #: name -> live data-server objects (BaseDataServer instances)
         self.servers: dict[str, object] = {}
@@ -191,8 +211,15 @@ class TabsNode:
         for factory in self._server_factories.values():
             server = factory(self)
             self.servers[server.name] = server
+        if self.replication is not None:
+            # The read barrier must be up before the servers accept
+            # requests: log replay restores durable state, not the
+            # writes peers committed while this node was down.
+            self.replication.mark_catchup_pending()
         report = yield from self.setup_generator(
             media_restore_segments=media_restore_segments)
+        if self.replication is not None:
+            self.replication.spawn_catchup()
         return report
 
     # -- archive dumps and media recovery (the Section 7 extension) -------------

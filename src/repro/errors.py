@@ -151,3 +151,13 @@ class ServerError(TabsError):
 
 class QuorumUnavailable(TabsError):
     """Weighted voting could not assemble a read or write quorum."""
+
+
+class ReplicaUnavailable(TabsError):
+    """Available-copies replication could not serve the request.
+
+    Raised when every replica of a key-space is unavailable (down,
+    unreachable, or still catching up after recovery), or when a single
+    replica refuses a read because it has not yet copied current
+    versions from a live peer (the post-recovery read barrier).
+    """

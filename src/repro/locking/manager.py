@@ -14,7 +14,7 @@ import collections
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator
 
-from repro.errors import LockTimeout, TabsError
+from repro.errors import LockTimeout, TabsError, TransactionAborted
 from repro.kernel.context import SimContext
 from repro.locking.modes import CompatibilityMatrix, LockMode, READ_WRITE_PROTOCOL
 from repro.sim import AnyOf, Event, Timeout
@@ -76,6 +76,19 @@ class LockManager:
         return [key for key, entry in self._locks.items()
                 if tid in entry.holders]
 
+    def exclusive_holder(self, key: Hashable,
+                         against: LockMode) -> Hashable | None:
+        """The transaction holding ``key`` in a mode incompatible with
+        ``against``, or None if ``against`` could be granted outright."""
+        entry = self._locks.get(key)
+        if not entry:
+            return None
+        for tid, modes in entry.holders.items():
+            if any(not self.protocol.compatible(held, against)
+                   for held in modes):
+                return tid
+        return None
+
     def waiting_for(self, tid: Hashable) -> set[Hashable]:
         """Transactions that ``tid`` is currently queued behind (for the
         optional deadlock detector)."""
@@ -114,12 +127,21 @@ class LockManager:
         return False
 
     def lock(self, tid: Hashable, key: Hashable, mode: LockMode,
-             timeout_ms: float | None = None) -> Iterator:
+             timeout_ms: float | None = None,
+             priority: bool = False) -> Iterator:
         """``LockObject``: acquire, waiting if necessary (generator).
 
         Raises :class:`LockTimeout` when the wait exceeds the time-out --
         the caller (server library) then aborts the transaction, which is
         how TABS breaks deadlocks.
+
+        ``priority`` queues the request at the *head* of the wait queue
+        instead of the tail: it waits only for the current holders, not
+        the whole convoy.  Reserved for work that restores redundancy
+        (replica catch-up) -- a recovering copy's read barrier stays up
+        until the merge finishes, so making it wait its turn behind a
+        hot-cell convoy trades one transaction's latency for a whole
+        copy's availability.
         """
         if self.try_lock(tid, key, mode):
             if self.ctx.tracer is not None:
@@ -144,7 +166,10 @@ class LockManager:
         entry = self._locks[key]
         waiter = _Waiter(tid, mode, Event(self.ctx.engine,
                                           name=f"lock:{key}"))
-        entry.queue.append(waiter)
+        if priority:
+            entry.queue.appendleft(waiter)
+        else:
+            entry.queue.append(waiter)
         deadline = Timeout(
             self.ctx.engine,
             self.default_timeout_ms if timeout_ms is None else timeout_ms)
@@ -152,9 +177,7 @@ class LockManager:
         try:
             which, _value = yield AnyOf(self.ctx.engine,
                                         [waiter.event, deadline])
-            if which == 1:  # the deadline fired first
-                if waiter.event.triggered:
-                    return  # granted at the very instant the deadline fired
+            if which == 1 and not waiter.event.triggered:
                 entry.queue.remove(waiter)
                 self.timeouts += 1
                 metrics.counter(self.node_name, "lock.timeouts").inc()
@@ -162,6 +185,17 @@ class LockManager:
                 raise LockTimeout(
                     f"transaction {tid} timed out waiting for {mode} on "
                     f"{key!r} (holders: {list(entry.holders)})")
+            # Granted -- but ``release_all`` may have revoked the grant
+            # between ``_wake`` succeeding the event and this coroutine
+            # resuming (the transaction finished while it was queued,
+            # and a concurrent release let it reach the head first).
+            # Proceeding would read or write with no lock held.
+            current = self._locks.get(key)
+            if current is None or tid not in current.holders:
+                outcome = "revoked"
+                raise TransactionAborted(
+                    tid, f"lock on {key!r} revoked: transaction finished "
+                    f"while the request was queued")
         finally:
             depth.dec()
             metrics.histogram(self.node_name, "lock.wait_ms").observe(
@@ -174,12 +208,24 @@ class LockManager:
     def release_all(self, tid: Hashable) -> list[Hashable]:
         """Drop every lock held by ``tid`` (commit/abort); wake waiters.
 
+        Requests ``tid`` still has *queued* are cancelled: the
+        transaction is finished, so granting one later (after its bulk
+        unlock already ran) would leave a lock nothing will ever
+        release.  The waiting ``lock`` call raises
+        :class:`TransactionAborted` instead.
+
         Returns the keys that were released.
         """
         released = []
         for key, entry in list(self._locks.items()):
             if entry.holders.pop(tid, None) is not None:
                 released.append(key)
+            for waiter in [w for w in entry.queue if w.tid == tid]:
+                entry.queue.remove(waiter)
+                if not waiter.event.triggered:
+                    waiter.event.fail(TransactionAborted(
+                        tid, f"lock request on {key!r} cancelled: "
+                        f"transaction finished while queued"))
             self._wake(entry)
             if not entry.holders and not entry.queue:
                 del self._locks[key]

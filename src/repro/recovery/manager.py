@@ -93,6 +93,10 @@ class RecoveryManager:
         #: dirty recoverable pages and their recovery LSNs
         self._page_rec_lsn: dict[tuple[str, int], int] = {}
         self._servers: dict[str, ServerAttachment] = {}
+        #: transactions this RM has abort-processed; a record spooled for
+        #: one of them arrived *after* the undo walk (a zombie operation
+        #: racing its own abort) and is undone inline at ingestion
+        self._aborted_tids: set[TransactionID] = set()
         #: log position the off-line archive is current to; records above
         #: it are never reclaimed (media recovery needs them).  None until
         #: the first archive dump.
@@ -163,6 +167,13 @@ class RecoveryManager:
         for oid in _oids_of(record):
             for page in oid.pages():
                 self._page_rec_lsn.setdefault((oid.segment_id, page), lsn)
+        if record.tid in self._aborted_tids:
+            # A zombie write racing its own abort: the undo walk already
+            # ran, so neutralize the record now -- restore the old value
+            # and log the compensation -- *before* acking the spool, so
+            # the data server's write cycle cannot complete (and its
+            # locks cannot be released) around a value the abort missed.
+            yield from self._instruct_undo(record)
         respond(message, {"lsn": lsn})
         if span_id and self.ctx.tracer is not None:
             self.ctx.tracer.end(span_id, lsn=lsn)
@@ -272,6 +283,7 @@ class RecoveryManager:
 
     def _handle_abort(self, message: Message):
         tid: TransactionID = message.body["tid"]
+        self._aborted_tids.add(tid)
         lsn = self._chains.get(tid, 0)
         while lsn:
             record = self.wal.record_at(lsn)

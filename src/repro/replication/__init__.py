@@ -1,0 +1,42 @@
+"""``repro.replication``: available-copies replication over sharded
+key-spaces.
+
+Crashes become degraded service, not outages: each logical key-space is
+placed on ``replication_factor`` nodes (:class:`PlacementMap`), clients
+write all available copies and read any one (:class:`ReplicatedApp`),
+and the Transaction Manager validates at commit time that no written
+replica failed while the transaction was open
+(:func:`validate_footprint` -- the RepCRec available-copies rule: a
+site failure erases its in-memory concurrency-control state).  A
+recovering replica merges current versions from its live peers before
+serving reads again (:mod:`repro.replication.catchup`).
+
+Selected by :class:`~repro.core.config.ReplicationConfig` on
+:class:`~repro.core.config.TabsConfig`; off by default, in which case
+nothing in this package runs and the single-copy system is
+byte-identical to the paper's.
+"""
+
+from repro.replication.audit import audit_replica_convergence, replica_cells
+from repro.replication.placement import PlacementMap
+from repro.replication.router import ReplicatedApp
+from repro.replication.runtime import ReplicaRuntime
+from repro.replication.server import (
+    ReplicatedServerMixin,
+    pack_cell,
+    unpack_cell,
+)
+from repro.replication.view import AvailabilityView, validate_footprint
+
+__all__ = [
+    "AvailabilityView",
+    "PlacementMap",
+    "ReplicaRuntime",
+    "ReplicatedApp",
+    "ReplicatedServerMixin",
+    "audit_replica_convergence",
+    "pack_cell",
+    "replica_cells",
+    "unpack_cell",
+    "validate_footprint",
+]

@@ -1,0 +1,193 @@
+"""Write-all-available / read-any-available routing for applications.
+
+:class:`ReplicatedApp` wraps an :class:`~repro.app.library
+.ApplicationLibrary` with the available-copies client protocol:
+
+- **reads** go to any available copy, failing over down the key-space's
+  placement order when a replica is down, unreachable, or refuses with
+  the post-recovery read barrier (each hop counts
+  ``replication.read_failover``);
+- **read-for-update** (the read half of a read-modify-write) always
+  locks the *first* available copy in placement order, so two
+  transactions updating the same cell serialize at one site; the
+  touched node is recorded in the transaction's footprint because a
+  site failure would erase that write lock;
+- **writes** fan out to *all* available copies (``write_all``); writing
+  fewer copies than the placement lists counts
+  ``replication.write_all_degraded``.
+
+The router records a *footprint* per transaction -- which nodes
+received writes (with the failure count observed at first touch) and
+which key-spaces were written where -- and ships it with
+``EndTransaction``.  The Transaction Manager validates it against the
+current availability view before running 2PC (see
+:func:`~repro.replication.view.validate_footprint`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import (
+    CommunicationError,
+    LockTimeout,
+    LookupFailed,
+    ReplicaUnavailable,
+    TransactionAborted,
+)
+from repro.txn.ids import TransactionID
+
+#: per-target failures that mean "try another copy", not "give up"
+_FAILOVER_ERRORS = (ReplicaUnavailable, LookupFailed, CommunicationError)
+
+
+class ReplicatedApp:
+    """Transaction control plus replica routing for one application."""
+
+    def __init__(self, cluster, node_name: str) -> None:
+        if cluster.placement is None:
+            raise ReplicaUnavailable(
+                "cluster has no placement map (replication not built)")
+        tabs_node = cluster.node(node_name)
+        if tabs_node.replication is None:
+            raise ReplicaUnavailable(
+                f"node {node_name!r} runs without a replication runtime")
+        self.cluster = cluster
+        self.node_name = node_name
+        self.app = cluster.application(node_name)
+        self.ctx = self.app.ctx
+        self.placement = cluster.placement
+        self.view = tabs_node.replication.view
+        #: tid -> {"written": {node: fail_count}, "keyspaces": {ks: set}}
+        self._footprints: dict[TransactionID, dict] = {}
+
+    # -- transaction control ----------------------------------------------------
+
+    def begin_transaction(self):
+        tid = yield from self.app.begin_transaction()
+        self._footprints[tid] = {"written": {}, "keyspaces": {}}
+        return tid
+
+    def end_transaction(self, tid: TransactionID):
+        footprint = self._footprints.pop(tid, None)
+        extra = None
+        if footprint and footprint["written"]:
+            extra = {"replication": {
+                "written": dict(footprint["written"]),
+                "keyspaces": {keyspace: sorted(nodes) for keyspace, nodes
+                              in footprint["keyspaces"].items()}}}
+        committed = yield from self.app.end_transaction(tid, extra=extra)
+        return committed
+
+    def abort_transaction(self, tid: TransactionID, reason: str = ""):
+        self._footprints.pop(tid, None)
+        yield from self.app.abort_transaction(tid, reason=reason)
+
+    def run_transaction(self, body_fn: Callable, retries: int = 0,
+                        backoff_ms: float = 200.0):
+        """Begin, run ``body_fn(tid)``, commit; jittered retries on abort
+        (mirrors :meth:`ApplicationLibrary.run_transaction`)."""
+        from repro.sim import Timeout
+
+        attempt = 0
+        while True:
+            tid = yield from self.begin_transaction()
+            try:
+                result = yield from body_fn(tid)
+            except Exception as error:
+                yield from self.abort_transaction(tid, reason=repr(error))
+                retryable = isinstance(error, (TransactionAborted,
+                                               LockTimeout,
+                                               ReplicaUnavailable))
+                if retryable and attempt < retries:
+                    attempt += 1
+                    yield Timeout(self.ctx.engine,
+                                  self.ctx.random.uniform(
+                                      0.0, backoff_ms * attempt))
+                    continue
+                raise
+            committed = yield from self.end_transaction(tid)
+            if committed:
+                return result
+            if attempt >= retries:
+                raise TransactionAborted(tid, "commit failed")
+            attempt += 1
+
+    # -- routed operations ------------------------------------------------------
+
+    def _counter(self, name: str):
+        return self.ctx.metrics.counter(self.node_name, name)
+
+    def _footprint(self, tid: TransactionID) -> dict:
+        return self._footprints.setdefault(
+            tid, {"written": {}, "keyspaces": {}})
+
+    def _record_write(self, tid: TransactionID, node: str) -> None:
+        # setdefault: the count at *first* touch is the binding one -- a
+        # replica that restarts between two writes of the same
+        # transaction must fail validation, not refresh its entry.
+        self._footprint(tid)["written"].setdefault(
+            node, self.view.fail_count(node))
+
+    def read(self, keyspace: str, op: str, body: dict,
+             tid: TransactionID, for_update: bool = False):
+        """Invoke a read op on any available copy of ``keyspace``.
+
+        With ``for_update`` the op is expected to take a write lock, and
+        the touched node is recorded in the footprint -- if that site
+        fails before commit its erased lock would otherwise permit a
+        lost update.  Serialization survives failover because every
+        contender walks the same placement order and sees the same
+        refusals, so same-cell writers lock at the same site; a lock
+        *conflict* (:class:`~repro.errors.LockTimeout`) deliberately
+        does not fail over -- shopping past a held lock is exactly the
+        two-writers-two-sites race the protocol exists to prevent.
+        """
+        replicas = self.placement.replicas(keyspace)
+        candidates = [node for node in replicas if self.view.available(node)]
+        if not candidates:
+            # The view can be stale (e.g. every peer suspected during a
+            # partition that just healed): try them all before giving up.
+            candidates = list(replicas)
+        last_error: Exception | None = None
+        for node in candidates:
+            try:
+                ref = yield from self.app.lookup_one(keyspace,
+                                                     node_name=node)
+                result = yield from self.app.call(ref, op, body, tid)
+            except _FAILOVER_ERRORS as error:
+                self._counter("replication.read_failover").inc()
+                last_error = error
+                continue
+            if for_update:
+                self._record_write(tid, node)
+            return result
+        raise ReplicaUnavailable(
+            f"no available copy of {keyspace!r} could serve {op!r} "
+            f"(tried {candidates!r})") from last_error
+
+    def write_all(self, keyspace: str, op: str, body: dict,
+                  tid: TransactionID):
+        """Invoke a write op on *all* available copies of ``keyspace``.
+
+        Returns the last copy's reply (they are deterministic writes of
+        the same value).  A copy that fails mid-call raises -- per the
+        available-copies rule the transaction must abort anyway, and
+        commit-time validation backstops the case where the failure is
+        only noticed later.
+        """
+        replicas = self.placement.replicas(keyspace)
+        targets = [node for node in replicas if self.view.available(node)]
+        if not targets:
+            raise ReplicaUnavailable(
+                f"no available copy of {keyspace!r} to write")
+        if len(targets) < len(replicas):
+            self._counter("replication.write_all_degraded").inc()
+        footprint = self._footprint(tid)
+        result = None
+        for node in targets:
+            ref = yield from self.app.lookup_one(keyspace, node_name=node)
+            result = yield from self.app.call(ref, op, body, tid)
+            self._record_write(tid, node)
+            footprint["keyspaces"].setdefault(keyspace, set()).add(node)
+        return result

@@ -1,0 +1,67 @@
+"""Per-node replication runtime: availability view, validation, catch-up.
+
+One :class:`ReplicaRuntime` hangs off each :class:`~repro.core.facility
+.TabsNode` when ``config.replication.enabled``.  Like the node's
+``fd_observers`` list it is created once and *survives* crash/rebuild
+cycles -- the availability view is knowledge about peers, not volatile
+node state, and losing it on every local restart would blind commit-time
+validation exactly when it matters (a node that restarts mid-run must
+still abort transactions that wrote to peers which failed meanwhile).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.replication.server import ReplicatedServerMixin
+from repro.replication.view import AvailabilityView, validate_footprint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.facility import TabsNode
+    from repro.replication.placement import PlacementMap
+
+
+class ReplicaRuntime:
+    """Replication state and hooks for one TABS node."""
+
+    def __init__(self, tabs_node: "TabsNode") -> None:
+        self.tabs_node = tabs_node
+        self.config = tabs_node.config.replication
+        self.view = AvailabilityView(tabs_node.name)
+        #: assigned by TabsCluster.set_placement once the workload builder
+        #: has decided the sharding
+        self.placement: "PlacementMap | None" = None
+        tabs_node.fd_observers.append(self.view.observe)
+
+    # -- commit-time validation (called by the Transaction Manager) -------------
+
+    def validate(self, footprint: dict) -> str | None:
+        """Abort reason for a transaction's replication footprint, or
+        None if it may commit."""
+        return validate_footprint(self.view, self.placement, footprint)
+
+    # -- recovery hooks (called by TabsNode.recovery_generator) -----------------
+
+    def _replicated(self, server) -> bool:
+        return (isinstance(server, ReplicatedServerMixin)
+                and self.placement is not None
+                and server.name in self.placement
+                and len(self.placement.replicas(server.name)) > 1)
+
+    def mark_catchup_pending(self) -> None:
+        """Raise the read barrier on every replicated server -- called
+        after a restart re-creates the servers, before they serve."""
+        for server in self.tabs_node.servers.values():
+            if self._replicated(server):
+                server.catchup_pending = True
+
+    def spawn_catchup(self) -> None:
+        """Start one catch-up process per pending server -- called once
+        crash recovery completes and the node serves requests again."""
+        from repro.replication.catchup import catchup_server
+
+        for server in self.tabs_node.servers.values():
+            if getattr(server, "catchup_pending", False):
+                self.tabs_node.node.spawn(
+                    catchup_server(self, server),
+                    name=f"catchup:{server.name}", defused=True)

@@ -1,0 +1,105 @@
+"""The availability view: which peers this node currently trusts.
+
+Fed by the PR 2 :class:`~repro.comm.failures.FailureDetector` through
+the node's persistent ``fd_observers`` list, so the view survives the
+node's own crash/rebuild cycles.  Three detector events matter:
+
+- ``"suspect"`` -- the peer stopped answering probes.  It becomes
+  unavailable and its *fail count* is bumped: any open transaction that
+  wrote to it can no longer trust that site's in-memory lock and
+  buffer state.
+- ``"restart-observed"`` -- a pong arrived bearing a higher kernel
+  epoch: the peer died and came back while we weren't looking.  It is
+  available again, but the fail count bumps (its CC state was erased by
+  the restart even if we never saw it down).
+- ``"recovered"`` -- a false suspicion: the same epoch answered again.
+  The peer is available and the fail count stays -- the *suspicion*
+  already bumped it, and conservatively a transaction that wrote
+  through the flap aborts (the detector cannot prove the silence was
+  harmless).
+
+Commit-time validation (:func:`validate_footprint`) compares the fail
+counts recorded at write time against the current view: any difference
+means the written replica's volatile CC state may be gone, so the
+transaction aborts rather than commit a write that a replica silently
+dropped.
+"""
+
+from __future__ import annotations
+
+
+class AvailabilityView:
+    """One node's opinion of which peers are up, with failure epochs."""
+
+    def __init__(self, local_node: str) -> None:
+        self.local_node = local_node
+        self._down: set[str] = set()
+        self._fail_counts: dict[str, int] = {}
+
+    # -- failure-detector observer ------------------------------------------------
+
+    def observe(self, time_ms: float, local_node: str, event: str,
+                peer: str) -> None:
+        """``fd_observers`` hook (see FailureDetector)."""
+        if event == "suspect":
+            self._down.add(peer)
+            self._fail_counts[peer] = self._fail_counts.get(peer, 0) + 1
+        elif event == "restart-observed":
+            self._down.discard(peer)
+            self._fail_counts[peer] = self._fail_counts.get(peer, 0) + 1
+        elif event == "recovered":
+            self._down.discard(peer)
+
+    # -- queries --------------------------------------------------------------------
+
+    def available(self, node: str) -> bool:
+        """Is ``node`` believed up?  The local node always is."""
+        return node == self.local_node or node not in self._down
+
+    def fail_count(self, node: str) -> int:
+        """How many times ``node`` has been seen to fail (monotonic)."""
+        return self._fail_counts.get(node, 0)
+
+    def available_replicas(self, placement, keyspace: str) -> list[str]:
+        """The key-space's replicas currently believed up, in placement
+        order."""
+        return [node for node in placement.replicas(keyspace)
+                if self.available(node)]
+
+
+def validate_footprint(view: AvailabilityView, placement,
+                       footprint: dict) -> str | None:
+    """Commit-time validation of a transaction's replication footprint.
+
+    ``footprint`` is gathered client-side by the router:
+    ``{"written": {node: fail_count_at_first_write},
+    "keyspaces": {keyspace: [nodes written]}}``.  Returns an abort
+    reason, or None if the transaction may commit.
+
+    Rule 1 (the RepCRec rule): a site failure erases its in-memory CC
+    state, so a transaction that *wrote* to a since-failed replica must
+    abort -- whether the replica is still down or already back (a
+    changed fail count betrays the restart, and covers the
+    suspect -> recovered -> suspect flap).  Plain reads need no such
+    check: their result was valid when served.
+
+    Rule 2 (the post-recovery write barrier): if a replica of a written
+    key-space is available *now* but missed the write (it was down or
+    recovering when the write fanned out), committing would strand a
+    stale copy that the catch-up merge may already have passed over.
+    The transaction aborts; its retry writes to the recovered copy too.
+    """
+    for node, recorded in footprint.get("written", {}).items():
+        if not view.available(node):
+            return f"replica {node!r} failed after a write touched it"
+        if view.fail_count(node) != recorded:
+            return (f"replica {node!r} restarted after a write touched it "
+                    f"(fail count {recorded} -> {view.fail_count(node)})")
+    if placement is not None:
+        for keyspace, written in footprint.get("keyspaces", {}).items():
+            written_set = set(written)
+            for node in placement.replicas(keyspace):
+                if view.available(node) and node not in written_set:
+                    return (f"replica {node!r} of {keyspace!r} recovered "
+                            "mid-transaction and missed a write")
+    return None

@@ -67,8 +67,14 @@ class TxnLocal:
     marked: list[tuple[ObjectID, LockMode]] = field(default_factory=list)
     #: every object this transaction has logged an update for
     write_set: set[ObjectID] = field(default_factory=set)
+    #: first buffered old value per object: the value that was committed
+    #: when this transaction first touched it, kept until the transaction
+    #: ends (``buffers`` is drained at LogAndUnPin, this is not)
+    pre_images: dict[ObjectID, object] = field(default_factory=dict)
     wrote: bool = False
     aborted: bool = False
+    #: voted "update" in phase one; its writes may commit at any moment
+    prepared: bool = False
 
 
 class DataServerLibrary:
@@ -226,9 +232,22 @@ class DataServerLibrary:
 
     def lock_object(self, tid: TransactionID, oid: Hashable,
                     mode: LockMode = WRITE,
-                    timeout_ms: float | None = None):
+                    timeout_ms: float | None = None,
+                    priority: bool = False):
         """``LockObject``: waits if unavailable; LockTimeout breaks deadlock."""
-        yield from self.locks.lock(tid, oid, mode, timeout_ms=timeout_ms)
+        self._refuse_zombie(tid)
+        yield from self.locks.lock(tid, oid, mode, timeout_ms=timeout_ms,
+                                   priority=priority)
+
+    def _refuse_zombie(self, tid: TransactionID) -> None:
+        """Stop an operation whose transaction finished while it was in
+        flight (a *zombie*: its client timed out or its coordinator
+        aborted it mid-operation).  The abort already released locks and
+        undid logged writes, so any further lock, pin, or write from
+        this coroutine would run unprotected and survive the undo."""
+        if tid in self._aborted_tombstones:
+            raise TransactionAborted(
+                tid, "aborted while this operation was in flight")
 
     def conditionally_lock_object(self, tid: TransactionID, oid: Hashable,
                                   mode: LockMode = WRITE) -> bool:
@@ -255,6 +274,40 @@ class DataServerLibrary:
         value = yield from self.node.vm.read_object(oid)
         return value
 
+    def read_committed(self, oid: ObjectID):
+        """The last *committed* value of ``oid``, without waiting for
+        locks (generator).  Returns ``(ok, value)``.
+
+        Three cases:
+
+        - no exclusive holder: the current value is committed;
+        - an *active* (unprepared) writer holds the object: its first
+          buffered pre-image is the committed value -- returned without
+          queueing behind the writer;
+        - a *prepared* writer holds it (or an in-doubt relock with no
+          pre-image): the outcome is undecided, so the committed value
+          cannot be named without waiting -- ``(False, None)``; the
+          caller falls back to an ordinary locked read.
+
+        Used by replica catch-up snapshots: a snapshot queued behind a
+        convoyed hot cell would hold the recovering copy's read barrier
+        up for the convoy's lifetime, and the versioned merge tolerates
+        a read that is merely *slightly* stale (any writer whose fan-out
+        includes the recovering copy updates it directly; one whose
+        fan-out missed it fails footprint validation at commit).
+        """
+        value = yield from self.node.vm.read_object(oid)
+        # Scan for the writer *after* the read: a writer that sneaked in
+        # during the page fault is caught here and its pre-image wins.
+        holder = self.locks.exclusive_holder(oid, READ)
+        if holder is None:
+            return True, value
+        local = self._txns.get(holder)
+        if local is not None and not local.prepared \
+                and oid in local.pre_images:
+            return True, local.pre_images[oid]
+        return False, None
+
     def write_object(self, oid: ObjectID, value: object):
         """Assign to a pinned object (the ``obj.ptr := value`` of the
         paper's SetCell listing).  Pinning first is mandatory: it is what
@@ -273,15 +326,30 @@ class DataServerLibrary:
             raise ServerError(
                 "value logging covers at most one page per object; use "
                 "operation logging for multi-page objects")
+        self._refuse_zombie(tid)
         yield from self.node.vm.pin(oid)
         old_value = yield from self.node.vm.read_object(oid)
-        self._local(tid).buffers[oid] = old_value
+        if tid in self._aborted_tombstones:
+            # Aborted during the pin: back out before buffering.
+            self.node.vm.unpin(oid)
+            self._refuse_zombie(tid)
+        local = self._local(tid)
+        local.buffers[oid] = old_value
+        local.pre_images.setdefault(oid, old_value)
 
     def log_and_unpin(self, tid: TransactionID, oid: ObjectID):
         """Send the old/new value pair to the Recovery Manager; unpin."""
         local = self._local(tid)
         if oid not in local.buffers:
             raise ServerError(f"log_and_unpin without pin_and_buffer: {oid}")
+        if tid in self._aborted_tombstones:
+            # The transaction aborted between this cycle's pin and its
+            # log: the new value was written but never logged, so the
+            # abort's undo could not see it.  Scrub it back to the
+            # buffered pre-image instead of logging it.
+            yield from self.node.vm.write_object(oid, local.buffers.pop(oid))
+            self.node.vm.unpin(oid)
+            self._refuse_zombie(tid)
         yield self.ctx.cpu("DS", self.ctx.cpu_costs.ds_log_format)
         new_value = yield from self.node.vm.read_object(oid)
         record = ValueUpdateRecord(
@@ -436,6 +504,7 @@ class DataServerLibrary:
         if local.wrote:
             # Prepare record (large message): the write set, so recovery can
             # re-acquire locks for this in-doubt transaction.
+            local.prepared = True
             self.rm.send_prepare_record(tid, self.server_id,
                                         tuple(sorted(local.write_set)))
             respond(message, {"vote": "update"})
@@ -455,12 +524,20 @@ class DataServerLibrary:
 
     def _sys_abort(self, message: Message):
         tid: TransactionID = message.body["tid"]
-        self._txns.pop(tid, None)
+        local = self._txns.pop(tid, None)
         self._aborted_tombstones.add(tid)
+        if local is not None and local.buffers:
+            # An operation is still mid write cycle (pinned, possibly
+            # written, not yet logged).  Its value never reached the log,
+            # so the Recovery Manager's undo could not restore it: scrub
+            # it back to the buffered pre-image *before* the locks go,
+            # or a reader granted after the release would see it.
+            for oid in list(local.buffers):
+                yield from self.node.vm.write_object(oid,
+                                                     local.buffers.pop(oid))
+                self.node.vm.unpin(oid)
         self.locks.release_all(tid)
         respond(message, {"ok": True})
-        return
-        yield  # pragma: no cover
 
     def _sys_undo_value(self, message: Message):
         """Recovery Manager instruction: reset an object to its old value."""
@@ -486,6 +563,8 @@ class DataServerLibrary:
             parent_local.wrote = parent_local.wrote or child_local.wrote
             parent_local.buffers.update(child_local.buffers)
             parent_local.marked.extend(child_local.marked)
+            for oid, value in child_local.pre_images.items():
+                parent_local.pre_images.setdefault(oid, value)
         respond(message, {"ok": True})
         return
         yield  # pragma: no cover
@@ -499,6 +578,7 @@ class DataServerLibrary:
         local = self._local(tid)
         local.joined = True
         local.wrote = True
+        local.prepared = True
         local.write_set.update(oids)
         for oid in oids:
             granted = self.locks.try_lock(tid, oid, WRITE)

@@ -35,7 +35,7 @@ prepare time, and drop out of phase two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.comm.manager import SERVICE as CM_SERVICE
 from repro.errors import InvalidTransaction, TransactionAborted
@@ -103,6 +103,18 @@ class TransactionManager:
         #: transaction manager" (Section 3.2.2): one every N commits.
         #: None disables TM-driven checkpoints.
         self.checkpoint_every_commits: int | None = None
+        #: available-copies commit-time validation: callable taking the
+        #: client's replication footprint and returning an abort reason
+        #: or None (wired by the node's ReplicaRuntime; None when
+        #: replication is off)
+        self.replication_validator: "Callable[[dict], str | None] | None" \
+            = None
+        #: availability probe for phase-two ack collections: a child the
+        #: probe reports down cannot ack, so waiting out the timeout only
+        #: freezes the family's locks -- presumed abort / the recovery
+        #: outcome query already cover it.  None (replication off) keeps
+        #: the measured system's exact waiting behavior.
+        self.peer_down_probe: "Callable[[str], bool] | None" = None
         self._commits_since_checkpoint = 0
         self.commits = 0
         self.aborts = 0
@@ -361,6 +373,27 @@ class TransactionManager:
             yield from self._merge_child_into_parent(tid)
             respond(message, {"committed": True})
             return
+        footprint = message.body.get("replication")
+        if footprint is not None and self.replication_validator is not None:
+            # Available-copies validation: a site failure erased its
+            # in-memory CC state, so a write that touched a since-failed
+            # replica cannot be trusted -- abort before prepare fans out.
+            reason = self.replication_validator(footprint)
+            if reason is not None:
+                self.ctx.metrics.counter(
+                    self.node.name, "replication.validation_abort").inc()
+                children: list[str] = []
+                if state.has_remote_sites:
+                    info = yield from self._call_port(
+                        self.node.service(CM_SERVICE), "cm.spanning_info",
+                        {"tid": tid})
+                    children = [c for c in info["children"]
+                                if c != self.node.name]
+                yield from self._merge_family_into(tid)
+                yield from self._abort_subtree(state, children, reason=reason)
+                respond(message, {"committed": False,
+                                  "reason": state.abort_reason})
+                return
         yield self.ctx.cpu("TM", self.ctx.cpu_costs.tm_commit_read)
         yield self.ctx.cpu("other", self.ctx.cpu_costs.tm_dispatch_slop)
         # Live subtransactions commit with their parent.
@@ -514,6 +547,14 @@ class TransactionManager:
         if span_id and self.ctx.tracer is not None:
             self.ctx.tracer.end(span_id, vote=combined)
         return combined
+
+    def _live_children(self, children: list[str]) -> list[str]:
+        """The children worth awaiting: all of them, minus any a
+        configured availability probe currently reports down."""
+        if self.peer_down_probe is None:
+            return list(children)
+        return [child for child in children
+                if not self.peer_down_probe(child)]
 
     def _open_collection(self, kind: str, tid: TransactionID,
                          expected: list[str]) -> _Votes:
@@ -830,11 +871,12 @@ class TransactionManager:
                           children: list[str], outcome: str):
         tid = state.tid
         state.pending_acks = set(children)
+        awaited = self._live_children(children)
         collection = None
-        if children:
-            collection = self._open_collection("ack", tid, children)
-            for child in children:
-                self._send_datagram(child, f"tm.{outcome}_req", {}, tid)
+        if awaited:
+            collection = self._open_collection("ack", tid, awaited)
+        for child in children:
+            self._send_datagram(child, f"tm.{outcome}_req", {}, tid)
         for server in list(self._server_ports.get(tid, {})):
             try:
                 yield from self._call_server(tid, server, f"ds.{outcome}",
@@ -851,7 +893,11 @@ class TransactionManager:
         retries = 0
         while state.pending_acks and retries < self.max_ack_retries:
             retries += 1
-            pending = sorted(state.pending_acks)
+            pending = self._live_children(sorted(state.pending_acks))
+            if not pending:
+                # Every silent child is a known-down peer: its recovery's
+                # outcome query will complete us as a stray ack.
+                break
             self.ctx.metrics.counter(
                 self.node.name, "tm.commit_retransmits").inc(len(pending))
             self._open_collection("ack", tid, pending)
@@ -904,10 +950,14 @@ class TransactionManager:
             if child_state is not None:
                 yield from self._abort_subtree(child_state, [])
         collection = None
-        if children:
-            collection = self._open_collection("ack", tid, children)
-            for child in children:
-                self._send_datagram(child, "tm.abort_req", {}, tid)
+        awaited = self._live_children(children)
+        if awaited:
+            collection = self._open_collection("ack", tid, awaited)
+        for child in children:
+            # A down child is still told (datagram semantics: dropped on
+            # the floor) but not awaited -- presumed abort means its
+            # recovery resolves the fragment without our help.
+            self._send_datagram(child, "tm.abort_req", {}, tid)
         # The Recovery Manager follows the transaction's backward chain and
         # instructs servers to undo their effects (Section 3.2.2) ...
         yield from self.rm.abort_via_message(self.node, tid)
@@ -919,8 +969,14 @@ class TransactionManager:
             except Exception:
                 continue  # a dead server has no locks left to release
         if collection is not None:
-            yield from self._await_collection("ack", tid,
-                                              self.vote_timeout_ms)
+            timeout_ms = self.vote_timeout_ms
+            if self.peer_down_probe is not None:
+                # Replicated clusters bound the client's reply latency:
+                # the local locks are already released above, so a child
+                # that dies after the collection opened should cost an
+                # ack timeout, not a vote timeout.
+                timeout_ms = min(timeout_ms, self.ack_timeout_ms)
+            yield from self._await_collection("ack", tid, timeout_ms)
         if not state.phase.terminal:
             state.advance(TxnPhase.ABORTED)
         state.abort_reason = reason or state.abort_reason or "aborted"

@@ -18,11 +18,17 @@ from repro.workloads.debitcredit import (
     DebitCreditTopology,
     DebitCreditWorkload,
     HistoryServer,
+    ReplicatedAccountServer,
+    ReplicatedBranchServer,
+    ReplicatedHistoryServer,
+    ReplicatedTellerServer,
     TellerServer,
     TxnSpec,
     build_debitcredit,
+    build_replicated_debitcredit,
     debitcredit_txn,
     draw_spec,
+    replicated_debitcredit_txn,
 )
 
 #: schema name -> builder(cluster) -> topology
@@ -43,10 +49,16 @@ __all__ = [
     "DebitCreditTopology",
     "DebitCreditWorkload",
     "HistoryServer",
+    "ReplicatedAccountServer",
+    "ReplicatedBranchServer",
+    "ReplicatedHistoryServer",
+    "ReplicatedTellerServer",
     "TellerServer",
     "TxnSpec",
     "build_debitcredit",
+    "build_replicated_debitcredit",
     "build_workload",
     "debitcredit_txn",
     "draw_spec",
+    "replicated_debitcredit_txn",
 ]

@@ -55,6 +55,14 @@ from repro.recovery.audit import (
     audit_drainage,
     audit_storage_integrity,
 )
+from repro.replication.audit import audit_replica_convergence
+from repro.replication.placement import PlacementMap
+from repro.replication.router import ReplicatedApp
+from repro.replication.server import (
+    ReplicatedServerMixin,
+    pack_cell,
+    unpack_cell,
+)
 from repro.servers.base import BaseDataServer
 from repro.txn.ids import TransactionID
 
@@ -215,6 +223,143 @@ class HistoryServer(BaseDataServer):
         return {"row": list(row) if row is not None else None}
 
 
+# -- replicated servers --------------------------------------------------------
+#
+# Under available-copies replication the read-modify-write moves to the
+# client: ``add_to_balance`` computes a different result on a stale copy,
+# so the replicated tiers expose a for-update read (write-locks the row
+# on *one* replica, via the router's first-available routing) and an
+# absolute ``put`` that fans out the computed value to every available
+# copy.  Cells become versioned tuples so a recovering replica's
+# catch-up can merge without regressing fresher local writes.
+
+
+class ReplicatedBalanceServer(ReplicatedServerMixin, BalanceServer):
+    """A balance tier whose rows are replicated versioned cells."""
+
+    GATED_READS = ("get_balance", "get_balance_for_update")
+
+    def for_update_oid(self, op: str, body: dict):
+        if op == "get_balance_for_update":
+            return self._row_oid(body["row"])
+        return None
+
+    def _read_balance(self, body: dict, tid: TransactionID, mode):
+        oid = self._row_oid(body["row"])
+        yield from self.library.lock_object(tid, oid, mode)
+        raw = yield from self.library.read_object(oid)
+        _, value = unpack_cell(raw)
+        return {"balance": int(value) if value is not None else 0}
+
+    def op_get_balance(self, body: dict, tid: TransactionID):
+        result = yield from self._read_balance(body, tid, READ)
+        return result
+
+    def op_get_balance_for_update(self, body: dict, tid: TransactionID):
+        """The read half of the RMW: write-locks the row here, so
+        same-row contenders serialize at this replica."""
+        result = yield from self._read_balance(body, tid, WRITE)
+        return result
+
+    def op_put_balance(self, body: dict, tid: TransactionID):
+        """Store an absolute balance (the client computed the sum)."""
+        oid = self._row_oid(body["row"])
+        balance = int(body["balance"])
+        lib = self.library
+        yield from lib.lock_object(tid, oid, WRITE)
+        yield from lib.pin_and_buffer(tid, oid)
+        yield from lib.write_object(oid, pack_cell(self.node.ctx.now,
+                                                   balance))
+        yield from lib.log_and_unpin(tid, oid)
+        self.node.ctx.metrics.counter(self.node.name,
+                                      f"{self.TYPE_NAME}.updates").inc()
+        return {"balance": balance}
+
+
+class ReplicatedBranchServer(ReplicatedBalanceServer):
+    TYPE_NAME = "branch_server"
+
+
+class ReplicatedTellerServer(ReplicatedBalanceServer):
+    TYPE_NAME = "teller_server"
+
+
+class ReplicatedAccountServer(ReplicatedBalanceServer):
+    TYPE_NAME = "account_server"
+
+
+class ReplicatedHistoryServer(ReplicatedServerMixin, HistoryServer):
+    """History strands as versioned cells, with the append split into
+    cursor-read / row-put / cursor-put so it can fan out to replicas."""
+
+    GATED_READS = ("strand_count", "read_row", "strand_count_for_update")
+
+    def for_update_oid(self, op: str, body: dict):
+        if op == "strand_count_for_update":
+            return self._cell_oid(1 + int(body["strand"]))
+        return None
+
+    def _read_count(self, strand: int, tid: TransactionID, mode):
+        self._check_strand(strand)
+        oid = self._cell_oid(1 + strand)
+        yield from self.library.lock_object(tid, oid, mode)
+        raw = yield from self.library.read_object(oid)
+        _, value = unpack_cell(raw)
+        return {"count": int(value) if value is not None else 0}
+
+    def op_strand_count(self, body: dict, tid: TransactionID):
+        result = yield from self._read_count(int(body["strand"]), tid, READ)
+        return result
+
+    def op_strand_count_for_update(self, body: dict, tid: TransactionID):
+        """Write-locks the strand cursor: appends to one strand
+        serialize at this replica."""
+        result = yield from self._read_count(int(body["strand"]), tid,
+                                             WRITE)
+        return result
+
+    def op_read_row(self, body: dict, tid: TransactionID):
+        strand, slot = int(body["strand"]), int(body["slot"])
+        self._check_strand(strand)
+        if not 0 <= slot < self.slots:
+            raise RowOutOfRange(f"{self.name}: slot {slot} outside "
+                                f"0..{self.slots - 1}")
+        oid = self._cell_oid(self.strands + strand * self.slots + slot + 1)
+        yield from self.library.lock_object(tid, oid, READ)
+        raw = yield from self.library.read_object(oid)
+        _, row = unpack_cell(raw)
+        return {"row": list(row) if row is not None else None}
+
+    def _put_cell(self, cell: int, value: object, tid: TransactionID):
+        oid = self._cell_oid(cell)
+        lib = self.library
+        yield from lib.lock_object(tid, oid, WRITE)
+        yield from lib.pin_and_buffer(tid, oid)
+        yield from lib.write_object(oid, pack_cell(self.node.ctx.now,
+                                                   value))
+        yield from lib.log_and_unpin(tid, oid)
+
+    def op_put_row(self, body: dict, tid: TransactionID):
+        strand, slot = int(body["strand"]), int(body["slot"])
+        self._check_strand(strand)
+        if not 0 <= slot < self.slots:
+            raise ServerError(f"{self.name}: strand {strand} full "
+                              f"({self.slots} rows)")
+        row = (int(body["amount"]), int(body["branch"]),
+               int(body["teller"]), int(body["account"]))
+        yield from self._put_cell(self.strands + strand * self.slots
+                                  + slot + 1, row, tid)
+        self.node.ctx.metrics.counter(self.node.name,
+                                      "history_server.appends").inc()
+        return {"slot": slot}
+
+    def op_put_strand_count(self, body: dict, tid: TransactionID):
+        strand = int(body["strand"])
+        self._check_strand(strand)
+        yield from self._put_cell(1 + strand, int(body["count"]), tid)
+        return {"count": int(body["count"])}
+
+
 # -- topology ------------------------------------------------------------------
 
 
@@ -281,8 +426,12 @@ def build_debitcredit(cluster) -> DebitCreditTopology:
     ``branches_per_node`` branches per node; each branch contributes its
     balance row, teller array, (sparse) account partition, and
     per-teller history strands.  Reads the scale from
-    ``cluster.config.workload``.
+    ``cluster.config.workload``; with ``config.replication.enabled`` the
+    schema is built replicated instead (see
+    :func:`build_replicated_debitcredit`).
     """
+    if cluster.config.replication.enabled:
+        return build_replicated_debitcredit(cluster)
     workload = cluster.config.workload
     topology = DebitCreditTopology(
         branches=workload.branches,
@@ -303,6 +452,56 @@ def build_debitcredit(cluster) -> DebitCreditTopology:
             topology.history_server(branch),
             strands=workload.tellers_per_branch,
             slots_per_strand=workload.history_slots_per_teller))
+    cluster.start()
+    return topology
+
+
+def build_replicated_debitcredit(cluster) -> DebitCreditTopology:
+    """The available-copies variant: every branch's four key-spaces are
+    placed on ``replication_factor`` nodes by ring placement, anchored
+    at the branch's home node.  The same server name recurs on each
+    replica node (segment ids ``{node}:{name}`` stay unique), which is
+    what lets the Name Server scope lookups per replica.
+    """
+    workload = cluster.config.workload
+    replication = cluster.config.replication
+    topology = DebitCreditTopology(
+        branches=workload.branches,
+        branches_per_node=workload.branches_per_node)
+    for node in topology.node_names:
+        cluster.add_node(node)
+    keyspaces: list[str] = []
+    anchors: dict[str, int] = {}
+    factories: dict[str, object] = {}
+    for branch in range(workload.branches):
+        anchor = branch // workload.branches_per_node
+        for name, factory in (
+                (topology.branch_server(branch),
+                 ReplicatedBranchServer.factory(
+                     topology.branch_server(branch), rows=1)),
+                (topology.teller_server(branch),
+                 ReplicatedTellerServer.factory(
+                     topology.teller_server(branch),
+                     rows=workload.tellers_per_branch)),
+                (topology.account_server(branch),
+                 ReplicatedAccountServer.factory(
+                     topology.account_server(branch),
+                     rows=workload.accounts_per_branch)),
+                (topology.history_server(branch),
+                 ReplicatedHistoryServer.factory(
+                     topology.history_server(branch),
+                     strands=workload.tellers_per_branch,
+                     slots_per_strand=workload
+                     .history_slots_per_teller))):
+            keyspaces.append(name)
+            anchors[name] = anchor
+            factories[name] = factory
+    placement = PlacementMap.ring(keyspaces, topology.node_names,
+                                  replication.replication_factor, anchors)
+    cluster.set_placement(placement)
+    for name in keyspaces:
+        for node in placement.replicas(name):
+            cluster.add_server(node, factories[name])
     cluster.start()
     return topology
 
@@ -376,6 +575,53 @@ def debitcredit_txn(app, topology: DebitCreditTopology, spec: TxnSpec,
                          "account": spec.account}, tid)
 
 
+def _replicated_rmw(rapp: ReplicatedApp, keyspace: str, row: int,
+                    amount: int, tid: TransactionID):
+    """One replicated tier update: for-update read at the first
+    available copy, absolute put to all available copies."""
+    reply = yield from rapp.read(keyspace, "get_balance_for_update",
+                                 {"row": row}, tid, for_update=True)
+    yield from rapp.write_all(keyspace, "put_balance",
+                              {"row": row,
+                               "balance": reply["balance"] + amount}, tid)
+
+
+def replicated_debitcredit_txn(rapp: ReplicatedApp,
+                               topology: DebitCreditTopology,
+                               spec: TxnSpec, tid: TransactionID):
+    """The transaction body over replicated tiers.
+
+    Same shape and global lock order as :func:`debitcredit_txn`
+    (accounts < tellers < branches < history, hot branch row last), but
+    each update is a client-side read-modify-write: the for-update read
+    locks the row at one replica (serializing same-row contenders
+    there), the computed absolute value fans out to every available
+    copy.  If any written copy fails before commit, commit-time
+    validation aborts the transaction.
+    """
+    yield from _replicated_rmw(
+        rapp, topology.account_server(spec.account_branch), spec.account,
+        spec.amount, tid)
+    yield from _replicated_rmw(
+        rapp, topology.teller_server(spec.home_branch), spec.teller,
+        spec.amount, tid)
+    yield from _replicated_rmw(
+        rapp, topology.branch_server(spec.home_branch), 1, spec.amount, tid)
+    history = topology.history_server(spec.home_branch)
+    strand = spec.teller - 1
+    reply = yield from rapp.read(history, "strand_count_for_update",
+                                 {"strand": strand}, tid, for_update=True)
+    slot = reply["count"]
+    yield from rapp.write_all(history, "put_row",
+                              {"strand": strand, "slot": slot,
+                               "amount": spec.amount,
+                               "branch": spec.home_branch,
+                               "teller": spec.teller,
+                               "account": spec.account}, tid)
+    yield from rapp.write_all(history, "put_strand_count",
+                              {"strand": strand, "count": slot + 1}, tid)
+
+
 # -- the seeded workload driver ------------------------------------------------
 
 
@@ -425,6 +671,9 @@ class DebitCreditWorkload:
         self.topology = topology
         self.controller = controller
         self.workload = cluster.config.workload
+        #: route through the available-copies protocol and audit replica
+        #: convergence when the cluster was built replicated
+        self.replicated = cluster.config.replication.enabled
         self.rng = random.Random(seed)
         self.stats = DebitCreditStats()
         #: set once every node has been crashed and recovered, which
@@ -492,12 +741,17 @@ class DebitCreditWorkload:
 
     def _transaction(self, record: DebitCreditRecord):
         spec = record.spec
-        app = self.cluster.application(
-            self.topology.node_name(spec.home_branch))
+        home = self.topology.node_name(spec.home_branch)
+        if self.replicated:
+            app = ReplicatedApp(self.cluster, home)
+            body_fn = replicated_debitcredit_txn
+        else:
+            app = self.cluster.application(home)
+            body_fn = debitcredit_txn
         try:
             tid = yield from app.begin_transaction()
             record.tid = tid
-            yield from debitcredit_txn(app, self.topology, spec, tid)
+            yield from body_fn(app, self.topology, spec, tid)
             committed = yield from app.end_transaction(tid)
             record.outcome = "committed" if committed else "aborted"
         except Exception as error:  # noqa: BLE001 - faults hit anywhere
@@ -561,6 +815,8 @@ class DebitCreditWorkload:
 
     def _tier_sums(self) -> dict[str, int]:
         """Per-tier totals, reading only rows the traffic could touch."""
+        if self.replicated:
+            return self._tier_sums_replicated()
         touched_accounts: dict[int, set[int]] = {}
         for record in self.stats.records:
             touched_accounts.setdefault(
@@ -599,6 +855,55 @@ class DebitCreditWorkload:
                     for slot in range(count):
                         reply = yield from app.call(
                             history_ref, "read_row",
+                            {"strand": strand, "slot": slot}, tid)
+                        totals[3] += reply["row"][0]
+                return totals
+
+            branch_total, tellers, accounts, history, rows = \
+                self._read_only(node, read_branch)
+            sums["branches"] += branch_total
+            sums["tellers"] += tellers
+            sums["accounts"] += accounts
+            sums["history"] += history
+            sums["history_rows"] += rows
+        return sums
+
+    def _tier_sums_replicated(self) -> dict[str, int]:
+        """The replicated audit read: any available copy of each tier."""
+        touched_accounts: dict[int, set[int]] = {}
+        for record in self.stats.records:
+            touched_accounts.setdefault(
+                record.spec.account_branch, set()).add(record.spec.account)
+        sums = {"branches": 0, "tellers": 0, "accounts": 0, "history": 0,
+                "history_rows": 0}
+        for branch in range(self.workload.branches):
+            node = self.topology.node_name(branch)
+
+            def read_branch(tid, branch=branch, node=node):
+                rapp = ReplicatedApp(self.cluster, node)
+                reply = yield from rapp.read(
+                    self.topology.branch_server(branch), "get_balance",
+                    {"row": 1}, tid)
+                totals = [reply["balance"], 0, 0, 0, 0]
+                tellers = self.topology.teller_server(branch)
+                for row in range(1, self.workload.tellers_per_branch + 1):
+                    reply = yield from rapp.read(tellers, "get_balance",
+                                                 {"row": row}, tid)
+                    totals[1] += reply["balance"]
+                accounts = self.topology.account_server(branch)
+                for row in sorted(touched_accounts.get(branch, ())):
+                    reply = yield from rapp.read(accounts, "get_balance",
+                                                 {"row": row}, tid)
+                    totals[2] += reply["balance"]
+                history = self.topology.history_server(branch)
+                for strand in range(self.workload.tellers_per_branch):
+                    reply = yield from rapp.read(history, "strand_count",
+                                                 {"strand": strand}, tid)
+                    count = reply["count"]
+                    totals[4] += count
+                    for slot in range(count):
+                        reply = yield from rapp.read(
+                            history, "read_row",
                             {"strand": strand, "slot": slot}, tid)
                         totals[3] += reply["row"][0]
                 return totals
@@ -665,6 +970,10 @@ class DebitCreditWorkload:
             for tabs_node in self.cluster.nodes.values():
                 report.extend(audit_committed_values(tabs_node))
                 report.extend(audit_storage_integrity(tabs_node))
+            if self.replicated:
+                # Single-copy serializability at the cell level: every
+                # replica of every key-space agrees on every value.
+                report.extend(audit_replica_convergence(self.cluster))
         report.extend(self.check_conservation())
         self.cluster.settle()
         report.extend(audit_drainage(self.cluster))

@@ -1,0 +1,20 @@
+"""Shared builder for a small replicated DebitCredit cluster."""
+
+from repro.core.cluster import TabsCluster
+from repro.core.config import ReplicationConfig, TabsConfig, WorkloadConfig
+
+#: two branches on two nodes, rf=2: every key-space has a copy on each
+#: node, so any single crash leaves every shard readable and writable
+WORKLOAD = WorkloadConfig(branches=2, accounts_per_branch=50,
+                          tellers_per_branch=2, locality=1.0)
+
+
+def build_replicated(seed: int = 7,
+                     replication: ReplicationConfig | None = None):
+    """A started rf=2 DebitCredit cluster; returns (cluster, topology)."""
+    config = TabsConfig(
+        seed=seed, workload=WORKLOAD,
+        replication=replication or ReplicationConfig.available_copies())
+    cluster = TabsCluster(config)
+    topology = cluster.build_workload()
+    return cluster, topology

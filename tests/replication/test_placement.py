@@ -1,0 +1,62 @@
+"""Unit tests for the key-space placement map."""
+
+import pytest
+
+from repro.errors import TabsError
+from repro.replication import PlacementMap
+
+
+class TestPlacementMap:
+    def test_replicas_are_ordered_and_queryable(self):
+        placement = PlacementMap({"a": ("n0", "n1"), "b": ("n1",)})
+        assert placement.replicas("a") == ("n0", "n1")
+        assert placement.replicas("b") == ("n1",)
+        assert "a" in placement and "c" not in placement
+        assert len(placement) == 2
+
+    def test_unknown_keyspace_raises(self):
+        placement = PlacementMap({"a": ("n0",)})
+        with pytest.raises(TabsError):
+            placement.replicas("missing")
+
+    def test_empty_replica_list_rejected(self):
+        with pytest.raises(TabsError):
+            PlacementMap({"a": ()})
+
+    def test_duplicate_replica_rejected(self):
+        with pytest.raises(TabsError):
+            PlacementMap({"a": ("n0", "n0")})
+
+    def test_keyspaces_on_and_nodes(self):
+        placement = PlacementMap({"a": ("n0", "n1"), "b": ("n2", "n0")})
+        assert placement.keyspaces_on("n0") == ["a", "b"]
+        assert placement.keyspaces_on("n1") == ["a"]
+        assert placement.nodes() == ["n0", "n1", "n2"]
+
+
+class TestRingPlacement:
+    def test_anchored_ring(self):
+        placement = PlacementMap.ring(
+            ["b0", "b1"], ["bank0", "bank1"], 2,
+            anchors={"b0": 0, "b1": 1})
+        assert placement.replicas("b0") == ("bank0", "bank1")
+        assert placement.replicas("b1") == ("bank1", "bank0")
+
+    def test_round_robin_without_anchors(self):
+        placement = PlacementMap.ring(["a", "b", "c"],
+                                      ["n0", "n1", "n2"], 1)
+        assert placement.replicas("a") == ("n0",)
+        assert placement.replicas("b") == ("n1",)
+        assert placement.replicas("c") == ("n2",)
+
+    def test_factor_clamped_to_node_count(self):
+        placement = PlacementMap.ring(["a"], ["n0", "n1"], 5)
+        assert placement.replicas("a") == ("n0", "n1")
+
+    def test_factor_floor_is_one(self):
+        placement = PlacementMap.ring(["a"], ["n0", "n1"], 0)
+        assert placement.replicas("a") == ("n0",)
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(TabsError):
+            PlacementMap.ring(["a"], [], 1)

@@ -1,0 +1,137 @@
+"""Commit-time footprint validation, unit and end-to-end.
+
+The available-copies rule (RepCRec): a site failure erases its
+in-memory concurrency-control state, so any transaction that *wrote*
+to a since-failed replica must abort at commit -- even if the replica
+looks healthy again by then.  The end-to-end tests drive the detector
+events straight into the availability view mid-transaction and assert
+the Transaction Manager refuses the commit.
+"""
+
+from tests.replication.conftest import build_replicated
+
+from repro.replication import AvailabilityView, PlacementMap, validate_footprint
+from repro.workloads.debitcredit import _replicated_rmw
+
+
+def make_view(down=(), counts=None):
+    view = AvailabilityView("n0")
+    view._down = set(down)
+    view._fail_counts = dict(counts or {})
+    return view
+
+
+PLACEMENT = PlacementMap({"a": ("n0", "n1"), "b": ("n1", "n2")})
+
+
+class TestValidateFootprint:
+    def test_empty_footprint_commits(self):
+        assert validate_footprint(make_view(), PLACEMENT,
+                                  {"written": {}, "keyspaces": {}}) is None
+
+    def test_written_replica_down_aborts(self):
+        view = make_view(down={"n1"}, counts={"n1": 1})
+        reason = validate_footprint(view, PLACEMENT, {
+            "written": {"n1": 0}, "keyspaces": {"b": ["n1", "n2"]}})
+        assert reason is not None and "n1" in reason
+
+    def test_written_replica_restarted_aborts(self):
+        """Available again, but the fail count moved: its locks and
+        buffered writes are gone."""
+        view = make_view(counts={"n1": 2})
+        reason = validate_footprint(view, PLACEMENT, {
+            "written": {"n1": 1}, "keyspaces": {"b": ["n1", "n2"]}})
+        assert reason is not None and "restarted" in reason
+
+    def test_stable_replicas_commit(self):
+        view = make_view(counts={"n1": 3})
+        assert validate_footprint(view, PLACEMENT, {
+            "written": {"n1": 3, "n2": 0},
+            "keyspaces": {"b": ["n1", "n2"]}}) is None
+
+    def test_recovered_copy_missing_a_write_aborts(self):
+        """Rule 2, the post-recovery write barrier: a replica that is up
+        *now* but absent from the write set recovered mid-transaction;
+        committing would strand it stale."""
+        view = make_view()
+        reason = validate_footprint(view, PLACEMENT, {
+            "written": {"n1": 0}, "keyspaces": {"b": ["n1"]}})
+        assert reason is not None and "n2" in reason
+
+    def test_still_down_copy_missing_a_write_commits(self):
+        view = make_view(down={"n2"}, counts={"n2": 1})
+        assert validate_footprint(view, PLACEMENT, {
+            "written": {"n1": 0}, "keyspaces": {"b": ["n1"]}}) is None
+
+    def test_reads_carry_no_footprint(self):
+        """Plain reads never enter the footprint: their results were
+        valid when served (the RepCRec asymmetry)."""
+        view = make_view(down={"n1", "n2"}, counts={"n1": 5, "n2": 5})
+        assert validate_footprint(view, PLACEMENT,
+                                  {"written": {}, "keyspaces": {}}) is None
+
+
+def flap_transaction(cluster, topology, events):
+    """One replicated account update with detector ``events`` injected
+    between the write fan-out and the commit attempt."""
+    rapp = cluster.replicated_application("bank0")
+    view = cluster.node("bank0").replication.view
+
+    def txn():
+        tid = yield from rapp.begin_transaction()
+        yield from _replicated_rmw(rapp, topology.account_server(0), 1, 7,
+                                   tid)
+        for event in events:
+            view.observe(0.0, "bank0", event, "bank1")
+        committed = yield from rapp.end_transaction(tid)
+        return committed
+
+    return cluster.run_on("bank0", txn())
+
+
+def validation_aborts(cluster) -> int:
+    return cluster.metrics.counter(
+        "bank0", "replication.validation_abort").value
+
+
+class TestCommitTimeValidation:
+    def test_suspicion_flap_aborts_open_transaction(self):
+        """failed -> recovered: the replica answers probes again by
+        commit time, but the transaction wrote through the flap -- the
+        TM must still abort it."""
+        cluster, topology = build_replicated(seed=41)
+        committed = flap_transaction(cluster, topology,
+                                     ["suspect", "recovered"])
+        assert committed is False
+        assert validation_aborts(cluster) == 1
+        # The flap is history: a fresh transaction records the new fail
+        # count and commits.
+        rapp = cluster.replicated_application("bank0")
+
+        def retry(tid):
+            yield from _replicated_rmw(rapp, topology.account_server(0),
+                                       1, 7, tid)
+
+        cluster.run_on("bank0", rapp.run_transaction(retry))
+        assert validation_aborts(cluster) == 1
+
+    def test_full_flap_failed_recovered_failed_aborts(self):
+        cluster, topology = build_replicated(seed=43)
+        committed = flap_transaction(
+            cluster, topology, ["suspect", "recovered", "suspect"])
+        assert committed is False
+        assert validation_aborts(cluster) == 1
+
+    def test_restart_observed_mid_transaction_aborts(self):
+        """The peer was never suspected; a higher-epoch pong betrays a
+        crash-and-return while the transaction was open."""
+        cluster, topology = build_replicated(seed=47)
+        committed = flap_transaction(cluster, topology,
+                                     ["restart-observed"])
+        assert committed is False
+        assert validation_aborts(cluster) == 1
+
+    def test_quiet_detector_commits(self):
+        cluster, topology = build_replicated(seed=53)
+        assert flap_transaction(cluster, topology, []) is True
+        assert validation_aborts(cluster) == 0

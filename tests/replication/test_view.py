@@ -1,0 +1,58 @@
+"""Unit tests for the availability view's detector-event semantics."""
+
+from repro.replication import AvailabilityView, PlacementMap
+
+
+def view_for(local="n0"):
+    return AvailabilityView(local)
+
+
+class TestAvailabilityView:
+    def test_everyone_available_initially(self):
+        view = view_for()
+        assert view.available("n1")
+        assert view.fail_count("n1") == 0
+
+    def test_suspect_marks_down_and_bumps(self):
+        view = view_for()
+        view.observe(10.0, "n0", "suspect", "n1")
+        assert not view.available("n1")
+        assert view.fail_count("n1") == 1
+
+    def test_recovered_restores_without_second_bump(self):
+        """A false suspicion: the same epoch answered again.  The peer is
+        available but the suspicion's bump *stays* -- open transactions
+        that wrote through the flap must fail validation."""
+        view = view_for()
+        view.observe(10.0, "n0", "suspect", "n1")
+        view.observe(20.0, "n0", "recovered", "n1")
+        assert view.available("n1")
+        assert view.fail_count("n1") == 1
+
+    def test_restart_observed_bumps_even_if_never_suspected(self):
+        """A pong with a higher epoch betrays a crash we never saw: the
+        peer's CC state is gone, so the count bumps."""
+        view = view_for()
+        view.observe(10.0, "n0", "restart-observed", "n1")
+        assert view.available("n1")
+        assert view.fail_count("n1") == 1
+
+    def test_full_flap_accumulates(self):
+        view = view_for()
+        view.observe(10.0, "n0", "suspect", "n1")
+        view.observe(20.0, "n0", "recovered", "n1")
+        view.observe(30.0, "n0", "suspect", "n1")
+        assert not view.available("n1")
+        assert view.fail_count("n1") == 2
+
+    def test_local_node_always_available(self):
+        view = view_for("n0")
+        view.observe(10.0, "n0", "suspect", "n0")
+        assert view.available("n0")
+
+    def test_available_replicas_in_placement_order(self):
+        placement = PlacementMap({"a": ("n2", "n1", "n0")})
+        view = view_for("n0")
+        assert view.available_replicas(placement, "a") == ["n2", "n1", "n0"]
+        view.observe(10.0, "n0", "suspect", "n2")
+        assert view.available_replicas(placement, "a") == ["n1", "n0"]
