@@ -95,8 +95,18 @@ class RecoveryManager:
         self._servers: dict[str, ServerAttachment] = {}
         #: transactions this RM has abort-processed; a record spooled for
         #: one of them arrived *after* the undo walk (a zombie operation
-        #: racing its own abort) and is undone inline at ingestion
+        #: racing its own abort) and is undone inline at ingestion.
+        #: Entries age out after two checkpoints (see take_checkpoint) --
+        #: a zombie resolves within a few message hops, so nothing for
+        #: the tid can still be in flight a whole checkpoint interval on.
         self._aborted_tids: set[TransactionID] = set()
+        self._aborted_tids_prior: set[TransactionID] = set()
+        #: per aborted transaction, the committed value the undo walk
+        #: restored for each object; a zombie record for an object the
+        #: walk already undid must restore *this*, not its own old
+        #: value -- for a second write cycle that old value is the
+        #: transaction's first, equally-aborted write
+        self._undone_values: dict[TransactionID, dict] = {}
         #: log position the off-line archive is current to; records above
         #: it are never reclaimed (media recovery needs them).  None until
         #: the first archive dump.
@@ -173,7 +183,7 @@ class RecoveryManager:
             # and log the compensation -- *before* acking the spool, so
             # the data server's write cycle cannot complete (and its
             # locks cannot be released) around a value the abort missed.
-            yield from self._instruct_undo(record)
+            yield from self._instruct_undo(record, zombie=True)
         respond(message, {"lsn": lsn})
         if span_id and self.ctx.tracer is not None:
             self.ctx.tracer.end(span_id, lsn=lsn)
@@ -294,13 +304,29 @@ class RecoveryManager:
         self._retire(tid)
         respond(message, {"ok": True})
 
-    def _instruct_undo(self, record: LogRecord):
-        """Send one undo instruction to the owning server and await its ack."""
+    def _instruct_undo(self, record: LogRecord, zombie: bool = False):
+        """Send one undo instruction to the owning server and await its ack.
+
+        ``zombie`` marks a record spooled *after* the abort's undo walk.
+        The walk runs newest-to-oldest, so each step restores its own
+        record's old value and the object ends at the oldest (committed)
+        one; a zombie arrives with the walk already done, so if the walk
+        undid this object the committed value it restored wins over the
+        record's own old value (which, for a second write cycle, is the
+        transaction's first -- aborted -- write).
+        """
+        restore_value = None
         if isinstance(record, ValueUpdateRecord):
             if record.compensates_lsn:
                 return  # a compensation record is never itself undone
+            undone = self._undone_values.setdefault(record.tid, {})
+            if zombie and record.oid in undone:
+                restore_value = undone[record.oid]
+            else:
+                restore_value = record.old_value
+                undone[record.oid] = restore_value
             op, body = "ds.undo_value", {"oid": record.oid,
-                                         "value": record.old_value}
+                                         "value": restore_value}
             server = record.server
         elif isinstance(record, OperationRecord):
             if record.compensates_lsn:
@@ -324,7 +350,7 @@ class RecoveryManager:
             # bound and resurrect the flushed pre-abort value from disk.
             clr = ValueUpdateRecord(
                 tid=record.tid, server=record.server, oid=record.oid,
-                old_value=record.new_value, new_value=record.old_value,
+                old_value=record.new_value, new_value=restore_value,
                 compensates_lsn=record.lsn)
             self._append_chained(clr)
             # Pin the page's recovery LSN back to the original update:
@@ -385,6 +411,16 @@ class RecoveryManager:
         self.wal.append(record)
         yield from self.wal.force()
         self.checkpoints_taken += 1
+        # Age out abort tombstones: a tid that has already survived one
+        # full checkpoint interval can have no zombie record still in
+        # flight (a zombie is one operation racing its own abort --
+        # bounded by a few message hops), so dropping it here keeps the
+        # set from growing without bound over a long run.
+        stale = self._aborted_tids_prior & self._aborted_tids
+        self._aborted_tids -= stale
+        for tid in stale:
+            self._undone_values.pop(tid, None)
+        self._aborted_tids_prior = set(self._aborted_tids)
         return record
 
     def truncation_bound(self) -> int:

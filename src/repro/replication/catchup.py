@@ -52,12 +52,28 @@ recovered there is no fresher site to defer to.
 from __future__ import annotations
 
 from repro.app.library import ApplicationLibrary
+from repro.errors import (
+    CommunicationError,
+    LockTimeout,
+    LookupFailed,
+    ReplicaUnavailable,
+    TransactionAborted,
+)
 from repro.kernel.disk import PAGE_SIZE
 from repro.sim import Timeout
 
 #: cells per snapshot/apply transaction pair: small enough that a chunk
 #: only ever waits on a handful of concurrent writers
 CATCHUP_CHUNK_CELLS = 32
+
+#: failures a merge chunk retries: the peer dying or unreachable
+#: mid-call, a lock timed out behind a hot-cell convoy, a catch-up
+#: transaction aborted (RuntimeError is the helpers' own
+#: commit-refused signal).  Anything else is a code defect and
+#: propagates -- silently skipping the peer and dropping the read
+#: barrier would degrade a bug into serving stale data.
+_RETRYABLE_ERRORS = (CommunicationError, LookupFailed, LockTimeout,
+                     ReplicaUnavailable, TransactionAborted, RuntimeError)
 
 
 def catchup_server(runtime, server):
@@ -137,7 +153,7 @@ def _merge_from_peer(runtime, app, server, peer):
                 pages += yield from _apply_local(app, server, cells, config)
                 start += CATCHUP_CHUNK_CELLS
                 attempt = 0  # forward progress refreshes the budget
-        except Exception:  # noqa: BLE001 - peer may die mid-merge
+        except _RETRYABLE_ERRORS:
             attempt += 1
             continue
         return pages

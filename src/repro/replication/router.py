@@ -17,11 +17,13 @@
   ``replication.write_all_degraded``.
 
 The router records a *footprint* per transaction -- which nodes
-received writes (with the failure count observed at first touch) and
-which key-spaces were written where -- and ships it with
-``EndTransaction``.  The Transaction Manager validates it against the
-current availability view before running 2PC (see
-:func:`~repro.replication.view.validate_footprint`).
+received writes, which nodes served plain reads (each with the failure
+count observed at first touch), and which key-spaces were written
+where -- and ships it with ``EndTransaction``.  The Transaction
+Manager validates it against the current availability view before
+running 2PC (see :func:`~repro.replication.view.validate_footprint`):
+a site failure erases read locks as well as write locks, so reads from
+a since-failed copy abort at commit too.
 """
 
 from __future__ import annotations
@@ -58,22 +60,24 @@ class ReplicatedApp:
         self.ctx = self.app.ctx
         self.placement = cluster.placement
         self.view = tabs_node.replication.view
-        #: tid -> {"written": {node: fail_count}, "keyspaces": {ks: set}}
+        #: tid -> {"written": {node: fail_count},
+        #:         "read": {node: fail_count}, "keyspaces": {ks: set}}
         self._footprints: dict[TransactionID, dict] = {}
 
     # -- transaction control ----------------------------------------------------
 
     def begin_transaction(self):
         tid = yield from self.app.begin_transaction()
-        self._footprints[tid] = {"written": {}, "keyspaces": {}}
+        self._footprints[tid] = {"written": {}, "read": {}, "keyspaces": {}}
         return tid
 
     def end_transaction(self, tid: TransactionID):
         footprint = self._footprints.pop(tid, None)
         extra = None
-        if footprint and footprint["written"]:
+        if footprint and (footprint["written"] or footprint["read"]):
             extra = {"replication": {
                 "written": dict(footprint["written"]),
+                "read": dict(footprint["read"]),
                 "keyspaces": {keyspace: sorted(nodes) for keyspace, nodes
                               in footprint["keyspaces"].items()}}}
         committed = yield from self.app.end_transaction(tid, extra=extra)
@@ -120,7 +124,7 @@ class ReplicatedApp:
 
     def _footprint(self, tid: TransactionID) -> dict:
         return self._footprints.setdefault(
-            tid, {"written": {}, "keyspaces": {}})
+            tid, {"written": {}, "read": {}, "keyspaces": {}})
 
     def _record_write(self, tid: TransactionID, node: str) -> None:
         # setdefault: the count at *first* touch is the binding one -- a
@@ -129,14 +133,22 @@ class ReplicatedApp:
         self._footprint(tid)["written"].setdefault(
             node, self.view.fail_count(node))
 
+    def _record_read(self, tid: TransactionID, node: str) -> None:
+        self._footprint(tid)["read"].setdefault(
+            node, self.view.fail_count(node))
+
     def read(self, keyspace: str, op: str, body: dict,
              tid: TransactionID, for_update: bool = False):
         """Invoke a read op on any available copy of ``keyspace``.
 
-        With ``for_update`` the op is expected to take a write lock, and
-        the touched node is recorded in the footprint -- if that site
-        fails before commit its erased lock would otherwise permit a
-        lost update.  Serialization survives failover because every
+        The serving node is always recorded in the footprint: a site
+        failure erases read locks too, so a since-failed copy's read
+        must abort at commit or a concurrent writer committing at the
+        surviving copies would give the reader read skew.  With
+        ``for_update`` the op is expected to take a *write* lock and
+        the node is recorded in the written set instead -- an erased
+        write lock would permit a lost update, and rule 1 covers both
+        maps identically.  Serialization survives failover because every
         contender walks the same placement order and sees the same
         refusals, so same-cell writers lock at the same site; a lock
         *conflict* (:class:`~repro.errors.LockTimeout`) deliberately
@@ -161,6 +173,8 @@ class ReplicatedApp:
                 continue
             if for_update:
                 self._record_write(tid, node)
+            else:
+                self._record_read(tid, node)
             return result
         raise ReplicaUnavailable(
             f"no available copy of {keyspace!r} could serve {op!r} "
@@ -179,8 +193,14 @@ class ReplicatedApp:
         replicas = self.placement.replicas(keyspace)
         targets = [node for node in replicas if self.view.available(node)]
         if not targets:
-            raise ReplicaUnavailable(
-                f"no available copy of {keyspace!r} to write")
+            # Mirror read(): the view can be stale (every peer suspected
+            # during a partition that just healed), so try every
+            # placement replica rather than refusing outright.  Safe
+            # either way -- a copy that is truly down raises mid-call
+            # and aborts the transaction, and one that was merely
+            # suspected records its current fail count, which rule 1
+            # re-checks at commit.
+            targets = list(replicas)
         if len(targets) < len(replicas):
             self._counter("replication.write_all_degraded").inc()
         footprint = self._footprint(tid)

@@ -19,10 +19,10 @@ node's own crash/rebuild cycles.  Three detector events matter:
   harmless).
 
 Commit-time validation (:func:`validate_footprint`) compares the fail
-counts recorded at write time against the current view: any difference
-means the written replica's volatile CC state may be gone, so the
-transaction aborts rather than commit a write that a replica silently
-dropped.
+counts recorded at access time against the current view: any difference
+means the touched replica's volatile CC state may be gone, so the
+transaction aborts rather than commit around a write a replica silently
+dropped -- or around a read whose lock no longer protects it.
 """
 
 from __future__ import annotations
@@ -73,15 +73,19 @@ def validate_footprint(view: AvailabilityView, placement,
 
     ``footprint`` is gathered client-side by the router:
     ``{"written": {node: fail_count_at_first_write},
+    "read": {node: fail_count_at_first_read},
     "keyspaces": {keyspace: [nodes written]}}``.  Returns an abort
     reason, or None if the transaction may commit.
 
     Rule 1 (the RepCRec rule): a site failure erases its in-memory CC
-    state, so a transaction that *wrote* to a since-failed replica must
+    state, so a transaction that *touched* a since-failed replica must
     abort -- whether the replica is still down or already back (a
     changed fail count betrays the restart, and covers the
-    suspect -> recovered -> suspect flap).  Plain reads need no such
-    check: their result was valid when served.
+    suspect -> recovered -> suspect flap).  Plain reads are covered
+    too: the failed site's read lock is erased with the rest of its CC
+    state, so a concurrent writer could update the item at surviving
+    copies and commit -- letting the reader also commit would be read
+    skew, not single-copy serializability.
 
     Rule 2 (the post-recovery write barrier): if a replica of a written
     key-space is available *now* but missed the write (it was down or
@@ -94,6 +98,12 @@ def validate_footprint(view: AvailabilityView, placement,
             return f"replica {node!r} failed after a write touched it"
         if view.fail_count(node) != recorded:
             return (f"replica {node!r} restarted after a write touched it "
+                    f"(fail count {recorded} -> {view.fail_count(node)})")
+    for node, recorded in footprint.get("read", {}).items():
+        if not view.available(node):
+            return f"replica {node!r} failed after serving a read"
+        if view.fail_count(node) != recorded:
+            return (f"replica {node!r} restarted after serving a read "
                     f"(fail count {recorded} -> {view.fail_count(node)})")
     if placement is not None:
         for keyspace, written in footprint.get("keyspaces", {}).items():

@@ -346,8 +346,14 @@ class DataServerLibrary:
             # The transaction aborted between this cycle's pin and its
             # log: the new value was written but never logged, so the
             # abort's undo could not see it.  Scrub it back to the
-            # buffered pre-image instead of logging it.
-            yield from self.node.vm.write_object(oid, local.buffers.pop(oid))
+            # *first* committed pre-image, not this cycle's buffer --
+            # if an earlier cycle of the same transaction logged a
+            # write of this object, the buffer holds that cycle's (now
+            # undone) value and restoring it would resurrect aborted
+            # data on top of the Recovery Manager's undo.
+            buffered = local.buffers.pop(oid)
+            yield from self.node.vm.write_object(
+                oid, local.pre_images.get(oid, buffered))
             self.node.vm.unpin(oid)
             self._refuse_zombie(tid)
         yield self.ctx.cpu("DS", self.ctx.cpu_costs.ds_log_format)
@@ -530,11 +536,16 @@ class DataServerLibrary:
             # An operation is still mid write cycle (pinned, possibly
             # written, not yet logged).  Its value never reached the log,
             # so the Recovery Manager's undo could not restore it: scrub
-            # it back to the buffered pre-image *before* the locks go,
-            # or a reader granted after the release would see it.
+            # it back *before* the locks go, or a reader granted after
+            # the release would see it.  Restore the first committed
+            # pre-image, not this cycle's buffer -- if an earlier cycle
+            # of the same transaction logged a write of this object,
+            # the buffer holds the transaction's own (undone) value and
+            # restoring it would overwrite the RM undo walk's work.
             for oid in list(local.buffers):
-                yield from self.node.vm.write_object(oid,
-                                                     local.buffers.pop(oid))
+                buffered = local.buffers.pop(oid)
+                yield from self.node.vm.write_object(
+                    oid, local.pre_images.get(oid, buffered))
                 self.node.vm.unpin(oid)
         self.locks.release_all(tid)
         respond(message, {"ok": True})

@@ -213,6 +213,50 @@ class TestFailureHandling:
             cluster.run_on("n1", call())
         assert not cluster.node("n1").node.vm.is_pinned(oid)
 
+    def test_abort_mid_second_cycle_restores_first_committed_value(self, env):
+        """A transaction that logged a write of an object in an earlier
+        cycle and aborts mid-way through a *second* (pinned, written,
+        unlogged) cycle of the same object must come back to the value
+        committed before its first write: the RM's undo walk restores
+        it, and the abort scrub of the in-flight cycle must not
+        overwrite that with the transaction's own -- equally aborted --
+        first write."""
+        cluster, server, app = env
+        lib = server.library
+        oid = lib.create_object_id(server.base_va + 256, 8)
+
+        def seed():
+            tid = yield from app.begin_transaction()
+            yield from lib._ensure_joined(tid)
+            yield from lib.lock_object(tid, oid, WRITE)
+            yield from lib.pin_and_buffer(tid, oid)
+            yield from lib.write_object(oid, "committed")
+            yield from lib.log_and_unpin(tid, oid)
+            committed = yield from app.end_transaction(tid)
+            assert committed
+
+        cluster.run_on("n1", seed())
+
+        def aborted():
+            tid = yield from app.begin_transaction()
+            yield from lib._ensure_joined(tid)
+            yield from lib.lock_object(tid, oid, WRITE)
+            yield from lib.pin_and_buffer(tid, oid)  # cycle 1, logged
+            yield from lib.write_object(oid, "first")
+            yield from lib.log_and_unpin(tid, oid)
+            yield from lib.pin_and_buffer(tid, oid)  # cycle 2, never logged
+            yield from lib.write_object(oid, "second")
+            yield from app.abort_transaction(tid)
+
+        cluster.run_on("n1", aborted())
+
+        def read():
+            value = yield from lib.read_object(oid)
+            return value
+
+        assert cluster.run_on("n1", read()) == "committed"
+        assert not cluster.node("n1").node.vm.is_pinned(oid)
+
     def test_unknown_system_op_rejected(self, env):
         cluster, server, app = env
         from repro.kernel.messages import Message
