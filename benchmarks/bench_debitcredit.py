@@ -54,17 +54,19 @@ def pipeline_results():
 def test_render_debitcredit(pipeline_results, benchmark):
     benchmark.pedantic(lambda: None, iterations=1, rounds=1)
     lines = ["DebitCredit, 8 hot branches, one serial log device "
-             "(TPS, forces/commit, mean latency ms)", "=" * 72,
-             f"{'clients':>8s} {'paper':>22s} {'grouped':>22s}"]
+             "(TPS, forces/commit, latency mean/p50/p95/p99 ms)", "=" * 72,
+             f"{'clients':>8s} {'paper':>38s} {'grouped':>38s}"]
     for index, clients in enumerate(CLIENT_COUNTS):
         paper = pipeline_results["paper"][index]
         grouped = pipeline_results["grouped"][index]
         lines.append(
             f"{clients:>8d} "
             f"{paper.tps:>8.2f} {paper.forces_per_commit:>5.2f} "
-            f"{paper.latency.mean:>7.1f} "
+            f"{paper.latency.mean:>7.1f} {paper.latency.p50:>5.1f} "
+            f"{paper.latency.p95:>5.1f} {paper.latency.p99:>5.1f} "
             f"{grouped.tps:>8.2f} {grouped.forces_per_commit:>5.2f} "
-            f"{grouped.latency.mean:>7.1f}")
+            f"{grouped.latency.mean:>7.1f} {grouped.latency.p50:>5.1f} "
+            f"{grouped.latency.p95:>5.1f} {grouped.latency.p99:>5.1f}")
     write_result("debitcredit.txt", "\n".join(lines))
 
 

@@ -41,7 +41,8 @@ def baseline_main(argv: list[str] | None, *, description: str,
                   payload_fn: Callable[[float], dict],
                   full_duration_ms: float,
                   smoke_duration_ms: float,
-                  smoke_check: Callable[[dict], tuple[bool, str]]) -> int:
+                  smoke_check: Callable[[dict], tuple[bool, str]],
+                  json_filter: Callable[[dict], dict] | None = None) -> int:
     """Shared CLI for baseline-regenerating benches.
 
     ``payload_fn(duration_ms)`` produces the JSON-ready payload (the
@@ -50,6 +51,11 @@ def baseline_main(argv: list[str] | None, *, description: str,
     returns ``(ok, summary_line)`` for the shortened CI variant; CI runs
     ``--smoke --json --output BENCH_<name>.smoke.json`` and uploads the
     artifact.
+
+    ``json_filter`` (if given) maps the payload to what ``--json``
+    writes: benches that *measure wall-clock time* (``bench_sim_speed``)
+    keep the nondeterministic wall section out of the committed baseline
+    while the smoke gate still sees it.
     """
     import argparse
 
@@ -65,7 +71,8 @@ def baseline_main(argv: list[str] | None, *, description: str,
 
     duration_ms = smoke_duration_ms if args.smoke else full_duration_ms
     payload = payload_fn(duration_ms)
-    text = json.dumps(payload, indent=2) + "\n"
+    written = json_filter(payload) if json_filter is not None else payload
+    text = json.dumps(written, indent=2) + "\n"
     if args.json:
         output = args.output or baseline_path
         output.write_text(text)

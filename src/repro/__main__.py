@@ -11,6 +11,9 @@ Commands:
   https://ui.perfetto.dev) and optionally compact JSONL
 - ``metrics <target>`` -- run a target and print its per-node counters,
   gauges, and latency histograms
+- ``profile <target>`` -- run a target under the wall-clock self-profiler;
+  print the hot-handler table, fabric churn, and the events/sec meter, and
+  optionally write a collapsed-stack flamegraph and a pstats dump
 
 The heavier artifacts (all fourteen benchmarks under three configurations,
 ablations, throughput) live in ``pytest benchmarks/``.
@@ -91,7 +94,8 @@ def cmd_paths(_args) -> int:
 
 # -- observability targets ---------------------------------------------------
 
-def _run_chaos_target(seed: int, traced: bool) -> TabsCluster:
+def _run_chaos_target(seed: int, traced: bool,
+                      profiled: bool = False) -> TabsCluster:
     """The canned chaos scenario: crash + partition + link-fault torture.
 
     Mirrors the determinism suite's plan so a trace of it shows failure
@@ -116,6 +120,8 @@ def _run_chaos_target(seed: int, traced: bool) -> TabsCluster:
     cluster = build_cluster(seed=seed)
     if traced:
         cluster.enable_tracing()
+    if profiled:
+        cluster.enable_profiling()
     controller = ChaosController(cluster, plan, seed=seed)
     workload = ChaosWorkload(cluster, controller, seed=seed)
     workload.setup()
@@ -127,10 +133,10 @@ def _run_chaos_target(seed: int, traced: bool) -> TabsCluster:
 
 
 def _run_target(target: str, seed: int, iterations: int,
-                traced: bool) -> TabsCluster:
+                traced: bool, profiled: bool = False) -> TabsCluster:
     """Run ``target`` (a benchmark key or ``chaos``); return its cluster."""
     if target == CHAOS_TARGET:
-        return _run_chaos_target(seed, traced)
+        return _run_chaos_target(seed, traced, profiled)
     spec = BENCHMARKS_BY_KEY[target]
     captured: list[TabsCluster] = []
 
@@ -138,6 +144,8 @@ def _run_target(target: str, seed: int, iterations: int,
         captured.append(cluster)
         if traced:
             cluster.enable_tracing()
+        if profiled:
+            cluster.enable_profiling()
 
     run_benchmark(spec, TabsConfig(seed=seed), iterations=iterations,
                   instrument=instrument)
@@ -182,6 +190,26 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.obs import collapsed_stacks, render_profile, write_pstats
+
+    cluster = _run_target(args.target, args.seed, args.iterations,
+                          traced=False, profiled=True)
+    profiler = cluster.ctx.profiler
+    write_report(render_profile(profiler, top=args.top))
+    if args.flame:
+        with open(args.flame, "w") as handle:
+            handle.write(collapsed_stacks(profiler))
+        write_report(f"wrote collapsed-stack flamegraph text to "
+                     f"{args.flame} (feed it to flamegraph.pl or "
+                     "speedscope)")
+    if args.pstats:
+        write_pstats(profiler, args.pstats)
+        write_report(f"wrote pstats dump to {args.pstats} "
+                     "(load with pstats.Stats or snakeviz)")
+    return 0
+
+
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "target",
@@ -218,6 +246,17 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument("--json", help="write the JSON snapshot here "
                                         "instead of rendering tables")
     metrics.set_defaults(run=cmd_metrics)
+    profile = sub.add_parser(
+        "profile", help="run a target under the wall-clock self-profiler")
+    _add_target_arguments(profile)
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows in the hot-handler and contention "
+                              "tables")
+    profile.add_argument("--flame", help="write collapsed-stack "
+                                         "flamegraph text here")
+    profile.add_argument("--pstats", help="write a pstats-compatible "
+                                          "dump here")
+    profile.set_defaults(run=cmd_profile)
     args = parser.parse_args(argv)
     return args.run(args)
 

@@ -64,6 +64,23 @@ class TabsCluster:
             self.network.add_trace_hook(tracer.network_event)
         return self.ctx.tracer
 
+    def enable_profiling(self):
+        """Attach a :class:`~repro.obs.SimProfiler` to the cluster.
+
+        Idempotent; returns the profiler.  The profiler reads the wall
+        clock but never feeds a reading back into simulated state --
+        no primitive charges, no scheduled events, no RNG draws -- so a
+        profiled run replays the unprofiled event sequence byte for byte.
+        """
+        if self.ctx.profiler is None:
+            from repro.obs import SimProfiler
+
+            profiler = SimProfiler(self.ctx)
+            profiler.network = self.network
+            self.ctx.profiler = profiler
+            self.ctx.engine.profiler = profiler
+        return self.ctx.profiler
+
     # -- topology ------------------------------------------------------------------
 
     def add_node(self, name: str) -> TabsNode:

@@ -40,6 +40,15 @@ class SimContext:
         #: instrumentation site guards on ``ctx.tracer is not None`` so the
         #: disabled path costs one attribute check.
         self.tracer = None
+        #: wall-clock self-profiler (:class:`repro.obs.profile.SimProfiler`),
+        #: or None; same one-attribute-check pattern as ``tracer``.  The
+        #: profiler only ever reads the wall clock -- it never feeds a
+        #: reading back into simulated state, so profiled runs replay the
+        #: unprofiled event sequence byte for byte.
+        self.profiler = None
+        #: every LockManager built against this context registers here so
+        #: the profiler can snapshot cluster-wide wait-for graphs
+        self.lock_managers: list = []
         #: Section 5.3's "Improved TABS Architecture": the Recovery Manager
         #: and Transaction Manager are merged with the Accent kernel, which
         #: eliminates message passing among those three components and lets

@@ -54,6 +54,10 @@ class LockManager:
         self._locks: dict[Hashable, _LockEntry] = {}
         self.timeouts = 0
         self.waits = 0
+        # Registered so a profiler can snapshot cluster-wide wait-for
+        # graphs; managers of crashed nodes stay listed (their cleared
+        # tables contribute no edges).
+        ctx.lock_managers.append(self)
 
     # -- queries ---------------------------------------------------------------
 
@@ -88,6 +92,25 @@ class LockManager:
                    for held in modes):
                 return tid
         return None
+
+    def wait_graph(self) -> list[dict]:
+        """Every queued request as a wait-for edge (profiler snapshot).
+
+        Deterministic: lock keys iterate in insertion order and holders
+        render sorted.
+        """
+        edges: list[dict] = []
+        for key, entry in self._locks.items():
+            for waiter in entry.queue:
+                edges.append({
+                    "node": self.node_name,
+                    "key": str(key),
+                    "waiter": str(waiter.tid),
+                    "mode": waiter.mode.name,
+                    "holders": sorted(str(holder)
+                                      for holder in entry.holders),
+                })
+        return edges
 
     def waiting_for(self, tid: Hashable) -> set[Hashable]:
         """Transactions that ``tid`` is currently queued behind (for the
@@ -200,6 +223,11 @@ class LockManager:
             depth.dec()
             metrics.histogram(self.node_name, "lock.wait_ms").observe(
                 self.ctx.now - started)
+            if self.ctx.profiler is not None:
+                # Simulated ms, not wall -- the heatmap ranks keys by how
+                # much workload time they serialized, deterministically.
+                self.ctx.profiler.record_lock_wait(
+                    self.node_name, key, self.ctx.now - started)
             if span_id and self.ctx.tracer is not None:
                 self.ctx.tracer.end(span_id, outcome=outcome)
 

@@ -13,6 +13,10 @@ paper accounts for *where time goes*:
   paper-table primitive counts.
 - :mod:`repro.obs.export` -- Chrome trace-event JSON (open it in Perfetto
   or ``chrome://tracing``) and a compact JSONL event log.
+- :mod:`repro.obs.profile` -- the *wall-clock* layer: a deterministic-safe
+  self-profiler attributing real time per handler category, lock
+  contention heatmaps, and the simulated-events-per-second meter the
+  ``bench_sim_speed`` meta-benchmark gates.
 
 Everything is timestamped from the simulation engine's clock, never the
 wall clock, so a traced chaos run is byte-for-byte reproducible from its
@@ -20,8 +24,17 @@ seed; and tracing is strictly passive (no primitive charges, no scheduled
 events, no RNG draws), so enabling it never changes a paper table.
 """
 
-from repro.obs.export import chrome_trace, chrome_trace_json, jsonl_events, metrics_json
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    collapsed_stacks,
+    jsonl_events,
+    metrics_json,
+    pstats_table,
+    write_pstats,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import SimProfiler, handler_category, render_profile
 from repro.obs.tracer import Span, TraceEvent, Tracer
 
 __all__ = [
@@ -29,11 +42,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SimProfiler",
     "Span",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
     "chrome_trace_json",
+    "collapsed_stacks",
+    "handler_category",
     "jsonl_events",
     "metrics_json",
+    "pstats_table",
+    "render_profile",
+    "write_pstats",
 ]

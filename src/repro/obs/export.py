@@ -167,3 +167,49 @@ def metrics_json(registry) -> str:
     """Byte-deterministic serialisation of a metrics snapshot."""
     return json.dumps(registry.snapshot(), sort_keys=True,
                       separators=(",", ":"))
+
+
+# -- profiler exports ---------------------------------------------------------
+#
+# Wall-clock profiles are inherently nondeterministic (the numbers are
+# real time), so unlike the trace exporters above these promise only
+# *shape* determinism: the frame set and ordering are pure functions of
+# the run, only the sample values vary.
+
+def collapsed_stacks(profiler) -> str:
+    """The profile as collapsed-stack flamegraph text.
+
+    One line per handler category -- ``sim;Type;label value`` -- where
+    the value is cumulative wall time in integer microseconds, the input
+    ``flamegraph.pl`` and speedscope both accept.  Category segments
+    (``Timeout:datagram``) become stack frames under a common ``sim``
+    root.
+    """
+    lines = []
+    for category in sorted(profiler.handlers):
+        count, wall_s = profiler.handlers[category]
+        frames = ["sim"] + [frame for frame in category.split(":") if frame]
+        micros = int(round(wall_s * 1e6))
+        lines.append(f"{';'.join(frames)} {max(micros, 1)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def pstats_table(profiler) -> dict:
+    """The profile as a ``pstats``-shaped stats dict.
+
+    Keys are ``(filename, line, function)`` triples; values are the
+    ``(call_count, primitive_calls, total_time, cumulative_time,
+    callers)`` tuples ``pstats.Stats`` expects.  Each handler category
+    maps to one flat entry (the event loop has no call hierarchy worth
+    faking).
+    """
+    return {("sim", 0, category): (count, count, wall_s, wall_s, {})
+            for category, (count, wall_s) in profiler.handlers.items()}
+
+
+def write_pstats(profiler, path) -> None:
+    """Dump the profile where ``pstats.Stats(path)`` can load it."""
+    import marshal
+
+    with open(path, "wb") as handle:
+        marshal.dump(pstats_table(profiler), handle)

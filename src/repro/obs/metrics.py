@@ -91,6 +91,44 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at ``fraction`` (e.g. ``0.95``) of the
+        distribution.
+
+        Walks the log2 buckets to the target rank and interpolates
+        linearly inside the landing bucket, clamped to the exact
+        observed ``[min, max]``.  Accessor-only: the snapshot shape is
+        unchanged, so golden metric digests stay valid.
+        """
+        if not self.count:
+            return 0.0
+        low = self.min if self.min is not None else 0.0
+        high = self.max if self.max is not None else 0.0
+        rank = fraction * self.count
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            weight = self.buckets[bucket]
+            if cumulative + weight >= rank:
+                lower = 0.0 if bucket == 0 else float(2 ** (bucket - 1))
+                upper = float(2 ** bucket)
+                within = max(rank - cumulative, 0.0) / weight
+                value = lower + within * (upper - lower)
+                return min(max(value, low), high)
+            cumulative += weight
+        return high
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
     def snapshot(self):
         return {
             "count": self.count,

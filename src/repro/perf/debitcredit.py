@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.cluster import TabsCluster
 from repro.core.config import CommitConfig, TabsConfig, WorkloadConfig
@@ -67,13 +68,16 @@ def run_debitcredit(clients: int, duration_ms: float = 30_000.0,
                     config: TabsConfig | None = None,
                     commit: CommitConfig | None = None,
                     workload: WorkloadConfig | None = None,
+                    instrument: Callable[[TabsCluster], None] | None = None,
                     ) -> DebitCreditResult:
     """Measure DebitCredit TPS at a given closed-loop client count.
 
     ``commit`` and ``workload`` override those blocks of ``config`` (or
     of a default config), so sweeps can hold everything else fixed.  The
     run is a pure function of the configuration: every client draws its
-    transaction stream from its own seeded RNG.
+    transaction stream from its own seeded RNG.  ``instrument`` (if
+    given) receives the built cluster before the clients spawn,
+    mirroring ``run_benchmark``.
     """
     base = config or TabsConfig()
     if commit is not None:
@@ -82,6 +86,8 @@ def run_debitcredit(clients: int, duration_ms: float = 30_000.0,
         base = base.with_(workload=workload)
     cluster = TabsCluster(base)
     topology = cluster.build_workload()
+    if instrument is not None:
+        instrument(cluster)
     schema = base.workload
     forces_before = sum(node.rm.wal.forces
                        for node in cluster.nodes.values())

@@ -85,12 +85,15 @@ def render_metrics(registry) -> str:
     histograms = registry.histograms()
     if histograms:
         rows = [[node, name, str(metric.count), f"{metric.mean:.2f}",
+                 f"{metric.p50:.2f}", f"{metric.p95:.2f}",
+                 f"{metric.p99:.2f}",
                  f"{metric.min if metric.min is not None else 0.0:.2f}",
                  f"{metric.max if metric.max is not None else 0.0:.2f}"]
                 for (node, name), metric in sorted(histograms.items())]
         sections.append(render_table(
             "Latency histograms (ms)",
-            ["node", "histogram", "n", "mean", "min", "max"], rows))
+            ["node", "histogram", "n", "mean", "p50", "p95", "p99",
+             "min", "max"], rows))
     return "\n\n".join(sections) if sections else "no metrics recorded"
 
 

@@ -28,6 +28,7 @@ transactions per second keep scaling and forces-per-commit drop below 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.cluster import TabsCluster
 from repro.core.config import CommitConfig, TabsConfig
@@ -59,12 +60,17 @@ class ThroughputResult:
 def run_throughput(concurrency: int, workload: str = "disjoint",
                    duration_ms: float = 60_000.0,
                    config: TabsConfig | None = None,
-                   commit: CommitConfig | None = None) -> ThroughputResult:
+                   commit: CommitConfig | None = None,
+                   instrument: Callable[[TabsCluster], None] | None = None,
+                   ) -> ThroughputResult:
     """Measure committed transactions/second at a given concurrency.
 
     ``commit`` overrides the commit-pipeline configuration of ``config``
     (or of a default config) -- the sweep harnesses use it to hold every
-    other knob fixed while swapping pipelines.
+    other knob fixed while swapping pipelines.  ``instrument`` (if given)
+    receives the started cluster before the workers spawn, mirroring
+    ``run_benchmark`` -- the observability harnesses use it to enable
+    tracing or profiling.
     """
     if workload not in ("disjoint", "shared"):
         raise ValueError(f"unknown workload {workload!r}")
@@ -75,6 +81,8 @@ def run_throughput(concurrency: int, workload: str = "disjoint",
     cluster.add_node("n1")
     cluster.add_server("n1", IntegerArrayServer.factory("array"))
     cluster.start()
+    if instrument is not None:
+        instrument(cluster)
     forces_before = cluster.nodes["n1"].rm.wal.forces
 
     committed = [0]

@@ -85,6 +85,7 @@ def catchup_server(runtime, server):
     local = tabs_node.name
     peers = [node for node in placement.replicas(server.name)
              if node != local]
+    started = ctx.now
     span_id = 0
     if ctx.tracer is not None:
         span_id = ctx.tracer.begin("replica.catchup", local, "REPL",
@@ -107,6 +108,10 @@ def catchup_server(runtime, server):
         # next recovery merges it.  The convergence audit bounds it.
         ctx.metrics.counter(local, "replication.catchup_selfserve").inc()
     server.catchup_pending = False
+    # How long this shard's read barrier stayed up -- the per-shard
+    # degraded-service window the availability bench cares about.
+    ctx.metrics.histogram(local, "replica.catchup_wait_ms").observe(
+        ctx.now - started)
     if applied_pages:
         ctx.metrics.counter(local,
                             "replica.catchup_pages").inc(applied_pages)

@@ -29,9 +29,43 @@ class ReplicaRuntime:
         self.config = tabs_node.config.replication
         self.view = AvailabilityView(tabs_node.name)
         #: assigned by TabsCluster.set_placement once the workload builder
-        #: has decided the sharding
-        self.placement: "PlacementMap | None" = None
+        #: has decided the sharding (property: installing it also primes
+        #: the per-shard available-copies gauges)
+        self._placement: "PlacementMap | None" = None
+        # Order matters: the view must absorb the detector event before
+        # the gauge refresh reads it.
         tabs_node.fd_observers.append(self.view.observe)
+        tabs_node.fd_observers.append(self._observe_availability)
+
+    @property
+    def placement(self) -> "PlacementMap | None":
+        return self._placement
+
+    @placement.setter
+    def placement(self, placement: "PlacementMap | None") -> None:
+        self._placement = placement
+        self.refresh_copy_gauges()
+
+    def _observe_availability(self, time_ms: float, local_node: str,
+                              event: str, peer: str) -> None:
+        """``fd_observers`` hook: any availability change moves gauges."""
+        if event in ("suspect", "restart-observed", "recovered"):
+            self.refresh_copy_gauges()
+
+    def refresh_copy_gauges(self) -> None:
+        """Per-shard redundancy as this node sees it:
+        ``replication.available_copies[keyspace]`` for each locally
+        hosted key-space."""
+        if self._placement is None:
+            return
+        metrics = self.tabs_node.ctx.metrics
+        local = self.tabs_node.name
+        for keyspace in self._placement.keyspaces_on(local):
+            copies = len(self.view.available_replicas(self._placement,
+                                                      keyspace))
+            metrics.gauge(
+                local, f"replication.available_copies[{keyspace}]"
+            ).set(copies)
 
     # -- commit-time validation (called by the Transaction Manager) -------------
 

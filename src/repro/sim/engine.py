@@ -31,6 +31,19 @@ class Engine:
         #: queued entries that are *not* daemons; quiescence means zero
         self._real = 0
         self._running = False
+        #: fabric churn accounting -- always on (plain integer bumps), read
+        #: by the sim-speed meta-benchmark and the profiler snapshot.  Kept
+        #: off the metrics registry so its snapshot (golden-hashed by the
+        #: determinism suite) is unchanged.
+        self.events_scheduled = 0
+        self.daemon_scheduled = 0
+        self.events_executed = 0
+        self.daemon_executed = 0
+        self.heap_high_water = 0
+        #: wall-clock profiler (:class:`repro.obs.profile.SimProfiler`) or
+        #: None; :meth:`step` guards on it so the disabled path costs one
+        #: attribute check, mirroring ``ctx.tracer``
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -50,8 +63,13 @@ class Engine:
         heapq.heappush(self._heap, (self._now + delay, self._seq, callback,
                                     daemon))
         self._seq += 1
-        if not daemon:
+        self.events_scheduled += 1
+        if daemon:
+            self.daemon_scheduled += 1
+        else:
             self._real += 1
+        if len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
 
     def schedule_now(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` at the current instant, after pending same-time work."""
@@ -65,7 +83,16 @@ class Engine:
         if not daemon:
             self._real -= 1
         self._now = time
-        callback()
+        self.events_executed += 1
+        if daemon:
+            self.daemon_executed += 1
+        # The profiler only *measures* the callback (wall clock never feeds
+        # back into simulated state), so both branches are equivalent to the
+        # simulation.
+        if self.profiler is None:
+            callback()
+        else:
+            self.profiler.run_step(callback, daemon, time)
         return True
 
     def run(self, until: float | None = None) -> None:

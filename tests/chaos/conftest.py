@@ -41,17 +41,23 @@ def run_scenario(plan: FaultPlan, seed: int, node_count: int = 3,
                  trace_network: bool = False,
                  spacing_ms: float = 120.0,
                  archive_dump_at_ms: float | None = None,
+                 instrument=None,
                  **config_overrides) -> ScenarioRun:
     """Build, torture, repair, audit.  Deterministic in ``(plan, seed)``.
 
     ``archive_dump_at_ms`` schedules an archive dump on every node (the
     base image corruption scenarios repair media from); it is opt-in so
-    historical plans replay byte-identically.  ``config_overrides`` are
-    forwarded to :class:`TabsConfig` (e.g. ``commit=CommitConfig.grouped()``
-    to torture the group-commit pipeline).
+    historical plans replay byte-identically.  ``instrument`` (if given)
+    receives the freshly built cluster before any traffic -- the
+    profiled-goldens test uses it to flip on observability that must not
+    perturb the run.  ``config_overrides`` are forwarded to
+    :class:`TabsConfig` (e.g. ``commit=CommitConfig.grouped()`` to
+    torture the group-commit pipeline).
     """
     cluster = build_cluster(node_count, with_queue=with_queue, seed=seed,
                             **config_overrides)
+    if instrument is not None:
+        instrument(cluster)
     controller = ChaosController(cluster, plan, seed=seed,
                                  trace_network=trace_network)
     workload = ChaosWorkload(cluster, controller, seed=seed)

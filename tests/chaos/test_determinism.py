@@ -83,6 +83,36 @@ def test_paper_pipeline_matches_prerefactor_goldens():
     assert metrics_sha == GOLDEN_METRICS_SHA
 
 
+def test_profiled_run_matches_goldens_byte_for_byte():
+    """The wall-clock profiler's zero-feedback invariant, end to end.
+
+    Running the canonical chaos scenario with ``enable_profiling()`` on
+    must reproduce the *same* golden digests as the unprofiled run: the
+    profiler reads the wall clock but feeds nothing back into simulated
+    state, so the event trace, the metrics dump, and the final clock are
+    untouched down to the byte.
+    """
+    from repro.obs import metrics_json
+
+    run = run_scenario(PLAN, seed=2026, transfers=10, run_ms=4_000.0,
+                       trace_network=True,
+                       instrument=lambda cluster:
+                       cluster.enable_profiling())
+    trace_sha = hashlib.sha256(
+        repr(run.controller.trace).encode()).hexdigest()
+    metrics_sha = hashlib.sha256(json.dumps(
+        metrics_json(run.cluster.metrics),
+        sort_keys=True).encode()).hexdigest()
+    assert run.cluster.engine.now == GOLDEN_FINAL_NOW
+    assert trace_sha == GOLDEN_TRACE_SHA
+    assert metrics_sha == GOLDEN_METRICS_SHA
+    # ... and the profiler did actually observe the run.  (It attaches
+    # after build_cluster's startup events, so steps <= lifetime total.)
+    profiler = run.cluster.ctx.profiler
+    assert 0 < profiler.steps <= run.cluster.engine.events_executed
+    assert profiler.handlers, "profiler attributed no handler categories"
+
+
 def test_different_seed_diverges():
     _, trace_a, _ = execute(seed=2026)
     _, trace_b, _ = execute(seed=2027)

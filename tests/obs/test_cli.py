@@ -81,3 +81,46 @@ class TestMetricsCommand:
         snapshot = json.loads(out.read_text())
         assert any(key.endswith("/wal.forces")
                    for key in snapshot["counters"])
+
+    def test_histogram_table_renders_percentiles(self, capsys):
+        assert main(["metrics", "w1", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        header_line = next(line for line in out.splitlines()
+                           if "histogram" in line and "p95" in line)
+        assert "p50" in header_line and "p99" in header_line
+
+
+class TestProfileCommand:
+    def test_renders_hot_handler_table(self, capsys):
+        assert main(["profile", "w1w1", "--iterations", "1",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulator speed meter" in out
+        assert "Hot handlers (top 5" in out
+        assert "events / wall sec" in out
+        assert "events_scheduled" in out
+
+    def test_writes_flamegraph_text(self, tmp_path, capsys):
+        flame = tmp_path / "flame.txt"
+        assert main(["profile", "r1", "--iterations", "1",
+                     "--flame", str(flame)]) == 0
+        lines = flame.read_text().splitlines()
+        assert lines
+        assert all(line.startswith("sim;") or line.startswith("sim ")
+                   for line in lines)
+        assert "flamegraph" in capsys.readouterr().out
+
+    def test_writes_loadable_pstats(self, tmp_path, capsys):
+        import pstats
+
+        dump = tmp_path / "profile.pstats"
+        assert main(["profile", "r1", "--iterations", "1",
+                     "--pstats", str(dump)]) == 0
+        stats = pstats.Stats(str(dump), stream=io.StringIO())
+        assert stats.total_calls > 0
+
+    def test_chaos_target_profiles(self, capsys):
+        assert main(["profile", "chaos", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Hot handlers" in out
+        assert "datagrams_sent" in out

@@ -42,6 +42,53 @@ class TestPrimitives:
         assert snap["buckets"] == {"2": 1, "3": 1}
 
 
+class TestPercentiles:
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram()
+        assert hist.p50 == 0.0
+        assert hist.p95 == 0.0
+        assert hist.p99 == 0.0
+
+    def test_single_observation_is_every_percentile(self):
+        hist = Histogram()
+        hist.observe(7.0)
+        assert hist.p50 == 7.0
+        assert hist.p95 == 7.0
+        assert hist.p99 == 7.0
+
+    def test_percentiles_are_ordered_and_clamped(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 5.0, 9.0, 17.0, 33.0, 80.0):
+            hist.observe(value)
+        assert hist.min <= hist.p50 <= hist.p95 <= hist.p99 <= hist.max
+
+    def test_heavy_tail_separates_p50_from_p99(self):
+        hist = Histogram()
+        for _ in range(98):
+            hist.observe(1.5)
+        hist.observe(100.0)
+        hist.observe(110.0)
+        assert hist.p50 < 2.0
+        assert hist.p99 > 50.0
+
+    def test_interpolates_within_landing_bucket(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(10.0)  # bucket 4: [8, 16)
+        # All mass in one bucket: interpolation stays inside [8, 16)
+        # and clamping pins it to the exact observed range.
+        assert hist.p50 == 10.0
+        assert hist.p95 == 10.0
+
+    def test_snapshot_shape_is_unchanged_by_percentiles(self):
+        """Accessors only: golden metric digests hash snapshot(), so
+        percentile support must not add snapshot keys."""
+        hist = Histogram()
+        hist.observe(3.0)
+        assert set(hist.snapshot()) == {"count", "mean_ms", "min_ms",
+                                        "max_ms", "buckets"}
+
+
 class TestRegistry:
     def test_create_on_first_use_returns_same_instance(self):
         registry = MetricsRegistry()

@@ -1,0 +1,111 @@
+"""Replication observability: redundancy gauges and the barrier window.
+
+Two signals ride on the metrics registry when replication is enabled:
+
+- ``replication.available_copies[keyspace]`` -- a per-shard gauge of how
+  many copies *this node* currently believes reachable.  It moves with
+  the availability view (suspect / restart-observed / recovered), so a
+  dashboard shows redundancy eroding before anything fails outright.
+- ``replica.catchup_wait_ms`` -- a histogram of how long each recovering
+  shard's read barrier stayed up: the per-shard degraded-service window.
+"""
+
+from tests.replication.conftest import build_replicated
+
+from repro.workloads.debitcredit import TxnSpec, replicated_debitcredit_txn
+
+
+def copies_gauge(cluster, node, keyspace):
+    return cluster.metrics.gauge(
+        node, f"replication.available_copies[{keyspace}]").value
+
+
+class TestAvailableCopiesGauge:
+    def test_primed_at_full_redundancy(self):
+        """Installing the placement primes every locally hosted shard's
+        gauge at rf (both copies reachable on a fresh cluster)."""
+        cluster, _ = build_replicated(seed=41)
+        keyspaces = cluster.placement.keyspaces_on("bank0")
+        assert keyspaces
+        for keyspace in keyspaces:
+            assert copies_gauge(cluster, "bank0", keyspace) == 2
+
+    def test_suspicion_drops_the_gauge(self):
+        cluster, _ = build_replicated(seed=43)
+        view = cluster.node("bank0").replication.view
+        view.observe(0.0, "bank0", "suspect", "bank1")
+        cluster.node("bank0").replication.refresh_copy_gauges()
+        for keyspace in cluster.placement.keyspaces_on("bank0"):
+            assert copies_gauge(cluster, "bank0", keyspace) == 1
+
+    def test_recovery_restores_the_gauge(self):
+        cluster, _ = build_replicated(seed=47)
+        runtime = cluster.node("bank0").replication
+        runtime.view.observe(0.0, "bank0", "suspect", "bank1")
+        runtime.refresh_copy_gauges()
+        runtime.view.observe(10.0, "bank0", "recovered", "bank1")
+        runtime.refresh_copy_gauges()
+        for keyspace in cluster.placement.keyspaces_on("bank0"):
+            assert copies_gauge(cluster, "bank0", keyspace) == 2
+
+    def test_detector_events_move_the_gauge_without_manual_refresh(self):
+        """The fd_observers hook wires detector events to the gauges, in
+        order (view first, then refresh) so the refresh reads the
+        *updated* view."""
+        cluster, _ = build_replicated(seed=53)
+        node = cluster.node("bank0")
+        keyspace = cluster.placement.keyspaces_on("bank0")[0]
+        for observer in node.fd_observers:
+            observer(0.0, "bank0", "suspect", "bank1")
+        assert copies_gauge(cluster, "bank0", keyspace) == 1
+        for observer in node.fd_observers:
+            observer(5.0, "bank0", "recovered", "bank1")
+        assert copies_gauge(cluster, "bank0", keyspace) == 2
+
+
+class TestCatchupWaitHistogram:
+    def test_recovery_observes_one_wait_per_replicated_shard(self):
+        """Crash, degraded commit, restart: every replicated shard on the
+        recovering node logs exactly one barrier window, in simulated
+        ms, with ordered percentiles for the latency report."""
+        cluster, topology = build_replicated(seed=59)
+        rapp = cluster.replicated_application("bank0")
+
+        def run_txn(spec):
+            def body(tid):
+                yield from replicated_debitcredit_txn(rapp, topology,
+                                                      spec, tid)
+            cluster.run_on("bank0", rapp.run_transaction(body))
+
+        run_txn(TxnSpec(home_branch=0, teller=1, account_branch=0,
+                        account=1, amount=25))
+        cluster.crash_node("bank1")
+        cluster.node("bank0").replication.view.observe(
+            0.0, "bank0", "suspect", "bank1")
+        run_txn(TxnSpec(home_branch=0, teller=2, account_branch=0,
+                        account=2, amount=40))
+        cluster.restart_node("bank1")
+        cluster.settle(extra_ms=5_000.0)
+
+        hist = cluster.metrics.histogram("bank1", "replica.catchup_wait_ms")
+        replicated = [ks for ks in cluster.placement.keyspaces_on("bank1")
+                      if len(cluster.placement.replicas(ks)) > 1]
+        assert hist.count == len(replicated) > 0
+        assert hist.min >= 0.0
+        assert hist.p50 <= hist.p95 <= hist.p99 <= hist.max
+
+    def test_fault_free_run_observes_nothing(self):
+        """No recovery, no barrier: the histogram stays absent so the
+        metrics snapshot of an unreplicated-path run is unchanged."""
+        cluster, topology = build_replicated(seed=61)
+        rapp = cluster.replicated_application("bank0")
+        spec = TxnSpec(home_branch=0, teller=1, account_branch=0,
+                       account=3, amount=10)
+
+        def body(tid):
+            yield from replicated_debitcredit_txn(rapp, topology, spec, tid)
+
+        cluster.run_on("bank0", rapp.run_transaction(body))
+        snapshot = cluster.metrics.snapshot()
+        assert not any("catchup_wait" in name
+                       for name in snapshot["histograms"])
