@@ -32,6 +32,7 @@ from repro.chaos.plan import (
     LinkFaultWindow,
     LogSectorRotAt,
     LostWriteAt,
+    MigrationFault,
     PartitionAt,
     RestartAt,
     TornWriteAt,
@@ -60,6 +61,7 @@ __all__ = [
     "LinkFaultWindow",
     "LogSectorRotAt",
     "LostWriteAt",
+    "MigrationFault",
     "PartitionAt",
     "RestartAt",
     "TornWriteAt",

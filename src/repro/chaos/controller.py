@@ -24,6 +24,7 @@ from repro.chaos.plan import (
     LinkFaultWindow,
     LogSectorRotAt,
     LostWriteAt,
+    MigrationFault,
     PartitionAt,
     RestartAt,
     TornWriteAt,
@@ -51,19 +52,26 @@ class ChaosController:
         if trace_network:
             cluster.network.add_trace_hook(self._network_event)
         for name, tabs_node in cluster.nodes.items():
-            tabs_node.node.on_crash.append(self._node_crashed)
-            tabs_node.node.on_restart.append(self._node_restarted)
-            self.status_history[name] = {}
-            tabs_node.log_store.observers.append(
-                lambda record, node=name: self._observe(node, record))
-            # The observer list survives rebuilds, so detections keep
-            # landing in the trace across crash/recovery cycles.
-            tabs_node.fd_observers.append(self._detector_event)
-            # The disk survives restarts too: one registration is enough
-            # for every checksum detection the node ever trips.
-            tabs_node.node.disk.on_corruption.append(
-                lambda segment_id, page, node=name:
-                self.record("corruption", node, segment_id, page))
+            self._wire_node(name, tabs_node)
+        # Nodes that join the running cluster later (online
+        # reconfiguration) get the same wiring the moment they appear.
+        cluster.node_join_hooks.append(
+            lambda tabs_node: self._wire_node(tabs_node.name, tabs_node))
+
+    def _wire_node(self, name: str, tabs_node) -> None:
+        tabs_node.node.on_crash.append(self._node_crashed)
+        tabs_node.node.on_restart.append(self._node_restarted)
+        self.status_history[name] = {}
+        tabs_node.log_store.observers.append(
+            lambda record, node=name: self._observe(node, record))
+        # The observer list survives rebuilds, so detections keep
+        # landing in the trace across crash/recovery cycles.
+        tabs_node.fd_observers.append(self._detector_event)
+        # The disk survives restarts too: one registration is enough
+        # for every checksum detection the node ever trips.
+        tabs_node.node.disk.on_corruption.append(
+            lambda segment_id, page, node=name:
+            self.record("corruption", node, segment_id, page))
 
     # -- trace -------------------------------------------------------------------
 
@@ -154,6 +162,8 @@ class ChaosController:
             self._watchers.append(watcher)
         elif isinstance(action, CrashOnGroupForce):
             self._arm_group_force_crash(action)
+        elif isinstance(action, MigrationFault):
+            self._arm_migration_fault(action)
         else:  # pragma: no cover - exhaustive over FaultAction
             raise TabsError(f"unknown fault action {action!r}")
 
@@ -176,7 +186,7 @@ class ChaosController:
         supervisor's self-healing process.
         """
         tabs_node = self.cluster.node(name)
-        if tabs_node.node.alive:
+        if tabs_node.node.alive or tabs_node.retired:
             return None
         tabs_node.node.restart()
         return tabs_node.supervisor.recovery_process
@@ -310,6 +320,56 @@ class ChaosController:
 
         pipeline.on_group_force.append(hook)
 
+    def _arm_migration_fault(self, action: MigrationFault) -> None:
+        """Fault a migration participant at a phase boundary, via the
+        reconfiguration manager's phase hooks.
+
+        One-shot: the hook disarms itself after firing.  The fault is
+        *scheduled* at delay zero rather than applied inside the hook --
+        the hook runs synchronously inside the coordinator's own
+        process, and the crash must land at its next yield (a message
+        boundary), not mid-callback.  Armed against the manager that
+        exists at install time; with reconfiguration off the action
+        records a skip and does nothing.
+        """
+        manager = self.cluster.reconfig
+        if manager is None:
+            self.record("migration-watch-skipped", action.phase,
+                        action.role)
+            return
+        armed_at = self.engine.now
+        state = {"count": 0, "done": False}
+
+        def hook(phase: str, info: dict) -> None:
+            if state["done"] or phase != action.phase:
+                return
+            if self.engine.now - armed_at < action.arm_after_ms:
+                return
+            node = info.get(action.role)
+            if node is None:  # pragma: no cover - roles always present
+                return
+            state["count"] += 1
+            if state["count"] < action.nth:
+                return
+            state["done"] = True
+            self.record("migration-fault", action.phase, action.role,
+                        node, action.kind)
+            if action.kind == "crash":
+                self.engine.schedule(
+                    0.0, lambda: self._crash(node,
+                                             action.restart_after_ms))
+            else:
+                others = tuple(name for name, tabs_node
+                               in self.cluster.nodes.items()
+                               if name != node and not tabs_node.retired)
+                self.engine.schedule(
+                    0.0, lambda: self._partition(
+                        PartitionAt(self.engine.now, ((node,), others))))
+                if action.heal_after_ms is not None:
+                    self.engine.schedule(action.heal_after_ms, self._heal)
+
+        manager.phase_hooks.append(hook)
+
     def _watch(self, action: CrashWhenLogged):
         """Poll durable logs until the trigger condition holds, then crash.
 
@@ -383,6 +443,8 @@ class ChaosController:
                 self.record("watch-disarmed", watcher.name)
         restarts = []
         for name, tabs_node in self.cluster.nodes.items():
+            if tabs_node.retired:
+                continue  # powered off for good; repair must not revive it
             disk = self._node_disk(name)
             disk.latency_factor = 1.0
             disk.clear_armed_faults()

@@ -188,9 +188,42 @@ class CrashOnGroupForce:
     restart_after_ms: float | None = None
 
 
+@dataclass(frozen=True)
+class MigrationFault:
+    """Fire a fault when a live shard migration reaches ``phase``.
+
+    Armed on the reconfiguration manager's phase hooks (see
+    :class:`~repro.reconfig.migration.MigrationCoordinator` for the
+    phase machine: ``intent``, ``extend``, ``copy``, ``barrier``,
+    ``commit``, ``done``).  When the ``nth`` matching phase boundary
+    fires, the node playing ``role`` in that migration -- its
+    ``originator``, ``source``, or ``dest`` -- is hit with ``kind``:
+
+    - ``"crash"``: power-fail the node (restart after
+      ``restart_after_ms``; None leaves it down for the harness);
+    - ``"partition"``: isolate the node from every other node (heal
+      after ``heal_after_ms``; None leaves the partition for the
+      harness).
+
+    One-shot per plan action; ``arm_after_ms`` delays arming so random
+    plans can scatter reconfiguration faults over the run.  If the run
+    never migrates (or the cluster has no reconfiguration manager) the
+    action never fires -- the controller records it as unarmed.
+    """
+
+    phase: str
+    role: str = "originator"
+    kind: str = "crash"
+    restart_after_ms: float | None = None
+    heal_after_ms: float | None = None
+    nth: int = 1
+    arm_after_ms: float = 0.0
+
+
 FaultAction = (CrashAt | RestartAt | PartitionAt | HealAt | LinkFaultWindow
                | DiskSlowdown | TornWriteAt | BitRotAt | LostWriteAt
-               | LogSectorRotAt | CrashWhenLogged | CrashOnGroupForce)
+               | LogSectorRotAt | CrashWhenLogged | CrashOnGroupForce
+               | MigrationFault)
 
 
 @dataclass(frozen=True)
@@ -249,6 +282,7 @@ def random_plan(seed: int, nodes: list[str], duration_ms: float,
                 link_weight: int = 2, disk_weight: int = 1,
                 corruption_weight: int = 0,
                 replication_weight: int = 0,
+                reconfig_weight: int = 0,
                 placement=None) -> FaultPlan:
     """A reproducible random torture schedule over ``nodes``.
 
@@ -260,16 +294,22 @@ def random_plan(seed: int, nodes: list[str], duration_ms: float,
     torn writes at a crash, bit rot on a data page, an armed lost write,
     or single-copy log-sector rot.  ``replication_weight`` (default 0,
     same guarantee; requires ``placement``) adds replica-targeted
-    episodes: crash or isolate one replica of a random key-space.  The
-    same ``(seed, nodes, duration_ms, ...)`` always yields the same
-    plan.
+    episodes: crash or isolate one replica of a random key-space.
+    ``reconfig_weight`` (default 0, same guarantee) adds
+    migration-targeted episodes: crash or isolate the originator,
+    source, or destination of a live shard migration at a random phase
+    boundary -- a no-op if the run never migrates.  The same ``(seed,
+    nodes, duration_ms, ...)`` always yields the same plan.
     """
     rng = random.Random(seed)
+    # New kinds append at the END so historical (seed, weights) pairs
+    # keep drawing the same episodes.
     kinds = (["crash"] * crash_weight + ["partition"] * partition_weight
              + ["link"] * link_weight + ["disk"] * disk_weight
              + ["corrupt"] * corruption_weight
              + ["replica"] * (replication_weight if placement is not None
-                              else 0))
+                              else 0)
+             + ["reconfig"] * reconfig_weight)
     actions: list[FaultAction] = []
     for _ in range(episodes):
         kind = rng.choice(kinds)
@@ -289,6 +329,18 @@ def random_plan(seed: int, nodes: list[str], duration_ms: float,
                 actions.append(isolate_replica(placement, keyspace, start,
                                                heal_after_ms=window,
                                                rank=rank))
+        elif kind == "reconfig":
+            phase = rng.choice(["intent", "extend", "copy", "barrier",
+                                "commit"])
+            role = rng.choice(["originator", "source", "dest"])
+            if rng.random() < 0.5:
+                actions.append(MigrationFault(
+                    phase=phase, role=role, kind="crash",
+                    restart_after_ms=window, arm_after_ms=start))
+            else:
+                actions.append(MigrationFault(
+                    phase=phase, role=role, kind="partition",
+                    heal_after_ms=window, arm_after_ms=start))
         elif kind == "corrupt":
             node = rng.choice(nodes)
             flavour = rng.choice(["torn", "rot", "lost", "log-rot"])

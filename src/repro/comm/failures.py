@@ -116,7 +116,13 @@ class FailureDetector:
         if self._stale:
             return
         now = self.ctx.now
-        for peer in self.network.node_names():
+        names = self.network.node_names()
+        # Forget peers that left the fabric (retired nodes deregister):
+        # keeping their PeerHealth around would report them as suspects
+        # forever, and pings to them would count as undeliverable noise.
+        for peer in [peer for peer in self.peers if peer not in names]:
+            del self.peers[peer]
+        for peer in names:
             if peer == self.node.name:
                 continue
             health = self.peers.get(peer)

@@ -96,6 +96,17 @@ class Network:
         self._nodes[node.name] = node
         self._managers[node.name] = manager
 
+    def deregister(self, name: str) -> None:
+        """Remove a retired node from the fabric.
+
+        Peers' failure detectors enumerate :meth:`node_names`, so a
+        deregistered node stops being probed (and so never becomes a
+        permanent suspect); datagrams addressed to it count as
+        undeliverable like any unknown endpoint.
+        """
+        self._nodes.pop(name, None)
+        self._managers.pop(name, None)
+
     def node(self, name: str) -> Node:
         try:
             return self._nodes[name]

@@ -19,6 +19,14 @@ from repro.kernel.context import SimContext
 from repro.sim import Process
 
 
+def bring_up_server(server):
+    """Bring one freshly added data server of a live node up (generator):
+    map + recover its (empty) segment, register its name, serve."""
+    yield from server.setup()
+    yield from server.on_recovered()
+    server.start()
+
+
 class TabsCluster:
     """Builds and drives a set of TABS nodes."""
 
@@ -35,6 +43,16 @@ class TabsCluster:
         #: key-space sharding, set by the workload builder when
         #: ``config.replication.enabled`` (see :meth:`set_placement`)
         self.placement = None
+        #: placement epoch of the current map; bumped by online
+        #: reconfiguration (see :mod:`repro.reconfig`), 0 forever when off
+        self.placement_epoch = 0
+        #: the cluster's :class:`~repro.reconfig.manager.ReconfigManager`,
+        #: registered by its constructor; None when reconfiguration is off
+        self.reconfig = None
+        #: called as hook(tabs_node) whenever a node is added -- lets the
+        #: chaos controller and workload wire their observers onto nodes
+        #: that join *after* they were constructed
+        self.node_join_hooks: list[Callable] = []
         self._started = False
 
     @property
@@ -84,12 +102,26 @@ class TabsCluster:
     # -- topology ------------------------------------------------------------------
 
     def add_node(self, name: str) -> TabsNode:
+        """Create a node.  Before :meth:`start` this is pure construction;
+        on a *running* cluster it is a live join -- the node boots, its
+        servers recover (there are none yet), peers' failure detectors
+        discover it, and it becomes eligible for shard placement."""
         if name in self.nodes:
             raise TabsError(f"node {name!r} already exists")
         tabs_node = TabsNode(self.ctx, self.network, name, self.config)
         self.nodes[name] = tabs_node
         if self.placement is not None and tabs_node.replication is not None:
             tabs_node.replication.placement = self.placement
+            tabs_node.replication.epoch = self.placement_epoch
+        for hook in self.node_join_hooks:
+            hook(tabs_node)
+        if self._started:
+            # Spawned, not run to completion: a live join may be issued
+            # from inside the running simulation (a scheduled
+            # reconfiguration step), where re-entering the engine is
+            # illegal.  Driver-context callers settle() afterwards.
+            tabs_node.node.spawn(tabs_node.setup_generator(),
+                                 name="join:setup", defused=True)
         return tabs_node
 
     def set_placement(self, placement) -> None:
@@ -109,6 +141,22 @@ class TabsCluster:
 
     def add_server(self, node_name: str, factory: Callable) -> None:
         self.node(node_name).add_server(factory)
+
+    def add_server_live(self, node_name: str, factory: Callable):
+        """Add a data server to a node of a *running* cluster and bring it
+        up (map, recover its fresh segment, register, serve).  Returns
+        the live server.  Used by shard migration to materialize the
+        destination copy's server before the catch-up style copy."""
+        if not self._started:
+            raise TabsError("add_server_live needs a started cluster "
+                            "(use add_server before start())")
+        tabs_node = self.node(node_name)
+        before = set(tabs_node.servers)
+        tabs_node.add_server(factory)
+        (name,) = set(tabs_node.servers) - before
+        server = tabs_node.servers[name]
+        self.run_on(node_name, bring_up_server(server))
+        return server
 
     def build_workload(self):
         """Build the nodes and servers of ``config.workload``.

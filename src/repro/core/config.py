@@ -154,6 +154,54 @@ class ReplicationConfig:
 
 
 @dataclass(frozen=True)
+class ReconfigConfig:
+    """Online reconfiguration: live join/retire and shard migration.
+
+    Off by default: cluster membership and the placement map stay fixed
+    at construction exactly as before, no epoch ever rides in a message
+    body, and all historical goldens and bench baselines replay
+    byte-identically.  With ``enabled``, placement becomes
+    epoch-versioned (:class:`~repro.reconfig.epoch.PlacementEpoch`):
+    routers stamp each transaction with the epoch it routed under and
+    the Transaction Manager aborts it at commit if the epoch moved
+    meanwhile (a migration re-homed something it touched), nodes may
+    join a *running* cluster and retire from it, and a
+    :class:`~repro.reconfig.migration.MigrationCoordinator` moves one
+    shard between nodes as a crash-safe transaction (durable intent in
+    the originator's WAL, chunked copy behind a read barrier, epoch
+    install as the commit action, presumed-abort rollback).
+
+    The copy loop reuses the replication catch-up knobs
+    (``catchup_call_timeout_ms``, ``catchup_lock_timeout_ms``) for its
+    RPCs; ``copy_retry_ms``/``copy_max_retries`` bound how long a
+    migration keeps retrying a failing source or destination before
+    rolling back to the old epoch.
+    """
+
+    enabled: bool = False
+    #: base backoff between retries of a failed copy chunk
+    copy_retry_ms: float = 400.0
+    #: consecutive chunk failures before the migration rolls back
+    copy_max_retries: int = 6
+
+    def __post_init__(self) -> None:
+        if self.copy_retry_ms < 0:
+            raise ValueError("copy_retry_ms must be >= 0")
+        if self.copy_max_retries < 1:
+            raise ValueError("copy_max_retries must be >= 1")
+
+    @classmethod
+    def off(cls) -> "ReconfigConfig":
+        """Static membership and placement, byte-identical to PR 7."""
+        return cls()
+
+    @classmethod
+    def online(cls, **overrides) -> "ReconfigConfig":
+        """Live join/retire and transactional shard migration."""
+        return cls(enabled=True, **overrides)
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """The banking schema a workload-driven cluster is built around.
 
@@ -278,6 +326,9 @@ class TabsConfig:
     #: available-copies replication of the workload's key-spaces; the
     #: default (off) keeps every object single-copy as in the paper
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    #: online reconfiguration (live join/retire, shard migration); the
+    #: default (off) keeps membership and placement fixed at construction
+    reconfig: ReconfigConfig = field(default_factory=ReconfigConfig)
     seed: int = 1985
 
     @classmethod

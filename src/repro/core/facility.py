@@ -60,6 +60,14 @@ class TabsNode:
         #: failure-detector observers; the list survives rebuilds so chaos
         #: tracing hooks keep observing across crash/recovery cycles
         self.fd_observers: list = []
+        #: generator factories spawned after every crash recovery (e.g. a
+        #: reconfiguration manager resolving a migration the crash cut
+        #: short); survives rebuilds like ``fd_observers``
+        self.recovery_hooks: list[Callable] = []
+        #: a retired node left the cluster for good: it is powered off,
+        #: deregistered from the network, and repair/finale sweeps must
+        #: not restart it
+        self.retired = False
         self._pending_media_restore: list[str] | None = None
         #: available-copies replication runtime; like ``fd_observers`` it
         #: survives rebuilds (the availability view is knowledge about
@@ -185,6 +193,18 @@ class TabsNode:
         self.node.crash()
         self.servers = {}
 
+    def shutdown_generator(self):
+        """Graceful power-off (generator): flush dirty pages and force the
+        log so the disk image is consistent, then cut power.
+
+        Used by node retirement -- unlike :meth:`crash`, a retired node's
+        disk must stand on its own because no recovery pass will ever
+        reconcile it with the log again.
+        """
+        yield from self.node.vm.flush_all()
+        yield from self.rm.wal.force()
+        self.crash()
+
     def restart_generator(self, media_restore_segments: list[str] | None = None):
         """Restart + crash recovery (generator).  Run it on the engine.
 
@@ -220,6 +240,9 @@ class TabsNode:
             media_restore_segments=media_restore_segments)
         if self.replication is not None:
             self.replication.spawn_catchup()
+        for index, hook in enumerate(self.recovery_hooks):
+            self.node.spawn(hook(), name=f"recovery-hook:{index}",
+                            defused=True)
         return report
 
     # -- archive dumps and media recovery (the Section 7 extension) -------------

@@ -1,0 +1,48 @@
+"""``repro.reconfig``: online reconfiguration -- nodes join, leave, and
+shed shards live, with migrations executed as crash-safe transactions.
+
+PR 7 made placement static: a :class:`~repro.replication.placement
+.PlacementMap` decided once at construction.  This package makes it
+*epoch-versioned* and changeable while traffic flows:
+
+- :class:`~repro.reconfig.epoch.PlacementEpoch` -- an immutable
+  (epoch number, placement map) pair with successor builders.  Routers
+  stamp each transaction with the epoch it routed under, and
+  commit-time validation aborts it if the epoch moved meanwhile
+  (:func:`~repro.replication.view.validate_footprint` rule 3).
+- :class:`~repro.reconfig.registry.ReconfigRegistryServer` -- a tiny
+  recoverable data server on the originator node holding the committed
+  migration sequence number and the current migration *intent*.  Both
+  are written by ordinary WAL-logged transactions, so the originator's
+  log -- with presumed-abort -- is the migration's commit record.
+- :class:`~repro.reconfig.migration.MigrationCoordinator` -- the
+  dist_zero-style role that moves one shard: durable intent, an
+  *extend* epoch that adds the destination (behind the catch-up read
+  barrier, so new writes fan to both copies while reads stay away), a
+  chunked copy reusing the replication catch-up machinery, then the
+  *shrink* epoch dropping the source as the commit action.  A crash of
+  originator, source, or destination at any message boundary rolls
+  back to the old epoch with zero committed-state loss.
+- :class:`~repro.reconfig.manager.ReconfigManager` -- the cluster-side
+  surface: live join, retirement (drain shards away, graceful power
+  off, deregister), epoch installation, and crash resolution of
+  interrupted migrations on originator recovery.
+
+Selected by :class:`~repro.core.config.ReconfigConfig` on
+:class:`~repro.core.config.TabsConfig`; off by default, in which case
+membership and placement stay fixed and every historical golden and
+bench baseline replays byte-identically.
+"""
+
+from repro.reconfig.epoch import PlacementEpoch
+from repro.reconfig.manager import ReconfigManager
+from repro.reconfig.migration import MigrationCoordinator
+from repro.reconfig.registry import REGISTRY_SERVER, ReconfigRegistryServer
+
+__all__ = [
+    "MigrationCoordinator",
+    "PlacementEpoch",
+    "REGISTRY_SERVER",
+    "ReconfigManager",
+    "ReconfigRegistryServer",
+]

@@ -2,9 +2,11 @@
 
 A *key-space* is a logical shard named after its data server (every
 replica node runs a server of that name over its own recoverable
-segment, so segment ids ``{node}:{name}`` stay unique).  The
-:class:`PlacementMap` is decided once at cluster construction and never
-changes during a run -- online reconfiguration is ROADMAP item 5.
+segment, so segment ids ``{node}:{name}`` stay unique).  A
+:class:`PlacementMap` is immutable; a *run* changes placement by
+installing a successor map under a new epoch number
+(:class:`~repro.reconfig.epoch.PlacementEpoch`, ROADMAP item 5) --
+workload builders still decide the initial map once at construction.
 
 The replica list of a key-space is *ordered*: the first entry is the
 shard's home (anchor) node.  Routing exploits the order for determinism
@@ -22,6 +24,8 @@ class PlacementMap:
     """An immutable key-space -> ordered replica-node-tuple mapping."""
 
     def __init__(self, assignments: dict[str, tuple[str, ...]]) -> None:
+        if not assignments:
+            raise TabsError("placement map has no key-spaces")
         self._assignments: dict[str, tuple[str, ...]] = {}
         for keyspace, nodes in assignments.items():
             nodes = tuple(nodes)
@@ -48,6 +52,10 @@ class PlacementMap:
 
     def keyspaces(self) -> list[str]:
         return list(self._assignments)
+
+    def assignments(self) -> dict[str, tuple[str, ...]]:
+        """A mutable copy of the full mapping (for building successors)."""
+        return dict(self._assignments)
 
     def keyspaces_on(self, node: str) -> list[str]:
         """Every key-space with a copy on ``node``."""

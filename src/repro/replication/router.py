@@ -58,28 +58,51 @@ class ReplicatedApp:
         self.node_name = node_name
         self.app = cluster.application(node_name)
         self.ctx = self.app.ctx
-        self.placement = cluster.placement
+        self._runtime = tabs_node.replication
         self.view = tabs_node.replication.view
+        #: stamp transactions with the placement epoch they route under
+        #: (commit-time rule 3); off by default so replication-only
+        #: message bodies stay byte-identical to PR 7
+        self._stamp_epoch = tabs_node.config.reconfig.enabled
         #: tid -> {"written": {node: fail_count},
         #:         "read": {node: fail_count}, "keyspaces": {ks: set}}
         self._footprints: dict[TransactionID, dict] = {}
+
+    @property
+    def placement(self):
+        """The placement currently installed on the home node's runtime.
+
+        A property, not a construction-time snapshot: online
+        reconfiguration installs successor epochs mid-run, and an open
+        app must route by the live map (stale routing would be caught at
+        commit by the epoch rule anyway -- this avoids the pointless
+        abort storm).
+        """
+        placement = self._runtime.placement
+        if placement is None:  # pragma: no cover - guarded in __init__
+            raise ReplicaUnavailable(
+                f"node {self.node_name!r} has no placement installed")
+        return placement
 
     # -- transaction control ----------------------------------------------------
 
     def begin_transaction(self):
         tid = yield from self.app.begin_transaction()
-        self._footprints[tid] = {"written": {}, "read": {}, "keyspaces": {}}
+        self._footprints[tid] = self._new_footprint()
         return tid
 
     def end_transaction(self, tid: TransactionID):
         footprint = self._footprints.pop(tid, None)
         extra = None
         if footprint and (footprint["written"] or footprint["read"]):
-            extra = {"replication": {
+            shipped = {
                 "written": dict(footprint["written"]),
                 "read": dict(footprint["read"]),
                 "keyspaces": {keyspace: sorted(nodes) for keyspace, nodes
-                              in footprint["keyspaces"].items()}}}
+                              in footprint["keyspaces"].items()}}
+            if "epoch" in footprint:
+                shipped["epoch"] = footprint["epoch"]
+            extra = {"replication": shipped}
         committed = yield from self.app.end_transaction(tid, extra=extra)
         return committed
 
@@ -122,9 +145,20 @@ class ReplicatedApp:
     def _counter(self, name: str):
         return self.ctx.metrics.counter(self.node_name, name)
 
+    def _new_footprint(self) -> dict:
+        footprint: dict = {"written": {}, "read": {}, "keyspaces": {}}
+        if self._stamp_epoch:
+            # The epoch at first touch is the one the transaction routed
+            # under; commit-time rule 3 aborts it if a migration moved
+            # the map meanwhile.
+            footprint["epoch"] = self._runtime.epoch
+        return footprint
+
     def _footprint(self, tid: TransactionID) -> dict:
-        return self._footprints.setdefault(
-            tid, {"written": {}, "read": {}, "keyspaces": {}})
+        footprint = self._footprints.get(tid)
+        if footprint is None:
+            footprint = self._footprints[tid] = self._new_footprint()
+        return footprint
 
     def _record_write(self, tid: TransactionID, node: str) -> None:
         # setdefault: the count at *first* touch is the binding one -- a

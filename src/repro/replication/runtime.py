@@ -32,6 +32,14 @@ class ReplicaRuntime:
         #: has decided the sharding (property: installing it also primes
         #: the per-shard available-copies gauges)
         self._placement: "PlacementMap | None" = None
+        #: placement epoch this node currently routes under; bumped by
+        #: :meth:`install_epoch` when online reconfiguration commits a
+        #: migration (0 forever when reconfiguration is off)
+        self.epoch = 0
+        #: key-spaces whose available-copies gauge this node last set --
+        #: so a shard migrated *away* zeroes its gauge instead of
+        #: reporting a stale copy count forever
+        self._gauged: set[str] = set()
         # Order matters: the view must absorb the detector event before
         # the gauge refresh reads it.
         tabs_node.fd_observers.append(self.view.observe)
@@ -45,6 +53,18 @@ class ReplicaRuntime:
     def placement(self, placement: "PlacementMap | None") -> None:
         self._placement = placement
         self.refresh_copy_gauges()
+
+    def install_epoch(self, epoch: int, placement: "PlacementMap") -> None:
+        """Adopt a new placement epoch (online reconfiguration).
+
+        Refreshes the copy gauges for the new map -- including zeroing
+        the gauges of key-spaces that just migrated away -- and records
+        the epoch this node now stamps transactions with.
+        """
+        self.epoch = epoch
+        self.placement = placement
+        self.tabs_node.ctx.metrics.gauge(
+            self.tabs_node.name, "reconfig.placement_epoch").set(epoch)
 
     def _observe_availability(self, time_ms: float, local_node: str,
                               event: str, peer: str) -> None:
@@ -60,7 +80,14 @@ class ReplicaRuntime:
             return
         metrics = self.tabs_node.ctx.metrics
         local = self.tabs_node.name
-        for keyspace in self._placement.keyspaces_on(local):
+        hosted = self._placement.keyspaces_on(local)
+        # A key-space that moved away must not keep reporting its last
+        # copy count: zero the gauge it primed while hosted here.
+        for keyspace in sorted(self._gauged.difference(hosted)):
+            metrics.gauge(
+                local, f"replication.available_copies[{keyspace}]").set(0)
+        self._gauged = set(hosted)
+        for keyspace in hosted:
             copies = len(self.view.available_replicas(self._placement,
                                                       keyspace))
             metrics.gauge(
@@ -72,14 +99,26 @@ class ReplicaRuntime:
     def validate(self, footprint: dict) -> str | None:
         """Abort reason for a transaction's replication footprint, or
         None if it may commit."""
-        return validate_footprint(self.view, self.placement, footprint)
+        reason = validate_footprint(self.view, self.placement, footprint,
+                                    epoch=self.epoch)
+        if reason is not None and reason.startswith("placement epoch"):
+            self.tabs_node.ctx.metrics.counter(
+                self.tabs_node.name, "reconfig.stale_epoch_abort").inc()
+        return reason
 
     # -- recovery hooks (called by TabsNode.recovery_generator) -----------------
 
     def _replicated(self, server) -> bool:
+        # The local-replica check matters under reconfiguration: a node
+        # may still host the *orphaned* copy of a key-space that
+        # migrated away (or whose migration rolled back) -- placement no
+        # longer routes reads here, so neither barrier nor catch-up
+        # applies to it.
         return (isinstance(server, ReplicatedServerMixin)
                 and self.placement is not None
                 and server.name in self.placement
+                and self.tabs_node.name
+                in self.placement.replicas(server.name)
                 and len(self.placement.replicas(server.name)) > 1)
 
     def mark_catchup_pending(self) -> None:

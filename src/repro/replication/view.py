@@ -68,14 +68,17 @@ class AvailabilityView:
 
 
 def validate_footprint(view: AvailabilityView, placement,
-                       footprint: dict) -> str | None:
+                       footprint: dict,
+                       epoch: int | None = None) -> str | None:
     """Commit-time validation of a transaction's replication footprint.
 
     ``footprint`` is gathered client-side by the router:
     ``{"written": {node: fail_count_at_first_write},
     "read": {node: fail_count_at_first_read},
-    "keyspaces": {keyspace: [nodes written]}}``.  Returns an abort
-    reason, or None if the transaction may commit.
+    "keyspaces": {keyspace: [nodes written]}}``, plus -- when online
+    reconfiguration is enabled -- ``"epoch"``, the placement epoch the
+    transaction routed under.  Returns an abort reason, or None if the
+    transaction may commit.
 
     Rule 1 (the RepCRec rule): a site failure erases its in-memory CC
     state, so a transaction that *touched* a since-failed replica must
@@ -92,7 +95,20 @@ def validate_footprint(view: AvailabilityView, placement,
     recovering when the write fanned out), committing would strand a
     stale copy that the catch-up merge may already have passed over.
     The transaction aborts; its retry writes to the recovered copy too.
+
+    Rule 3 (the stale-epoch rule, online reconfiguration): a
+    transaction that routed under one placement epoch must not commit
+    under another.  A migration committed while the transaction was
+    open may have re-homed a key-space it touched -- its writes fanned
+    out to the *old* replica set, so committing could strand the newly
+    installed copy stale (the mirror image of rule 2) or keep a
+    dropped copy authoritative.  Conservative like rule 1: the epoch
+    bump aborts every open stamped transaction, and retries route
+    under the new map.
     """
+    if epoch is not None and footprint.get("epoch", epoch) != epoch:
+        return (f"placement epoch changed mid-transaction "
+                f"({footprint['epoch']} -> {epoch})")
     for node, recorded in footprint.get("written", {}).items():
         if not view.available(node):
             return f"replica {node!r} failed after a write touched it"

@@ -687,11 +687,20 @@ class DebitCreditWorkload:
         if controller is None:
             self.status_history: dict[str, dict] = {}
             for name, tabs_node in cluster.nodes.items():
-                self.status_history[name] = {}
-                tabs_node.log_store.observers.append(
-                    lambda record, node=name: self._observe(node, record))
+                self._watch_node(name, tabs_node)
+            # Nodes that join the running cluster later (online
+            # reconfiguration) need the same observer or their terminal
+            # statuses would be invisible to the audits.
+            cluster.node_join_hooks.append(
+                lambda tabs_node: self._watch_node(tabs_node.name,
+                                                   tabs_node))
         else:
             self.status_history = controller.status_history
+
+    def _watch_node(self, name: str, tabs_node) -> None:
+        self.status_history[name] = {}
+        tabs_node.log_store.observers.append(
+            lambda record, node=name: self._observe(node, record))
 
     def _observe(self, node: str, record) -> None:
         from repro.wal.records import TransactionStatusRecord, TxnStatus
@@ -789,9 +798,11 @@ class DebitCreditWorkload:
         """
         for _ in range(2):
             for name in sorted(self.cluster.nodes):
-                self.cluster.crash_node(name)
+                if not self.cluster.node(name).retired:
+                    self.cluster.crash_node(name)
             for name in sorted(self.cluster.nodes):
-                self.cluster.restart_node(name)
+                if not self.cluster.node(name).retired:
+                    self.cluster.restart_node(name)
             self.cluster.settle()
         self._disk_checkable = True
 
@@ -802,7 +813,8 @@ class DebitCreditWorkload:
         quiet = self.controller.quiesce(max_ms=quiesce_ms)
         for _ in range(2):
             for tabs_node in self.cluster.nodes.values():
-                tabs_node.crash()
+                if not tabs_node.retired:
+                    tabs_node.crash()
             self.controller.repair_all()
             quiet = self.controller.quiesce(max_ms=quiesce_ms) and quiet
         self._disk_checkable = True
@@ -812,6 +824,17 @@ class DebitCreditWorkload:
 
     def _read_only(self, node_name: str, body_fn):
         return self.cluster.run_transaction(node_name, body_fn)
+
+    def _audit_home(self, branch: int) -> str:
+        """The node to run a branch's audit reads from: its home node,
+        unless retirement removed it -- replicated reads route by
+        placement, so any live node can front them."""
+        node = self.topology.node_name(branch)
+        tabs_node = self.cluster.nodes.get(node)
+        if tabs_node is not None and not tabs_node.retired:
+            return node
+        return min(name for name, candidate in self.cluster.nodes.items()
+                   if not candidate.retired)
 
     def _tier_sums(self) -> dict[str, int]:
         """Per-tier totals, reading only rows the traffic could touch."""
@@ -877,7 +900,7 @@ class DebitCreditWorkload:
         sums = {"branches": 0, "tellers": 0, "accounts": 0, "history": 0,
                 "history_rows": 0}
         for branch in range(self.workload.branches):
-            node = self.topology.node_name(branch)
+            node = self._audit_home(branch)
 
             def read_branch(tid, branch=branch, node=node):
                 rapp = ReplicatedApp(self.cluster, node)
@@ -966,8 +989,12 @@ class DebitCreditWorkload:
             history=history))
         if self._disk_checkable:
             # Before a crash-all/recover-all, committed values may still
-            # (legitimately) live only in volatile page frames.
+            # (legitimately) live only in volatile page frames.  Retired
+            # nodes are excluded: their shards migrated away, so their
+            # disks legitimately froze at the pre-migration state.
             for tabs_node in self.cluster.nodes.values():
+                if tabs_node.retired:
+                    continue
                 report.extend(audit_committed_values(tabs_node))
                 report.extend(audit_storage_integrity(tabs_node))
             if self.replicated:

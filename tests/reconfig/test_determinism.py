@@ -1,0 +1,36 @@
+"""Same seeds, same reconfiguration: trace-for-trace reproducibility."""
+
+from tests.reconfig.conftest import build_reconfig
+
+from repro.chaos import ChaosController, FaultPlan, MigrationFault
+from repro.workloads.debitcredit import DebitCreditWorkload
+
+
+def run_once(seed: int = 7):
+    cluster, topology, manager = build_reconfig(seed=seed)
+    fault = MigrationFault(phase="copy", role="dest", kind="crash",
+                           restart_after_ms=4_000.0)
+    controller = ChaosController(cluster, FaultPlan.of(fault), seed=3)
+    controller.install()
+    manager.join("bank2")
+    workload = DebitCreditWorkload(cluster, topology, controller=controller,
+                                   seed=11)
+    workload.schedule_traffic(txns=12, first_at_ms=5.0, spacing_ms=60.0)
+    keyspace = topology.account_server(1)
+    cluster.engine.schedule(
+        400.0,
+        lambda: manager.spawn_migration(keyspace, "bank0", "bank2"))
+    workload.finale()
+    return (tuple(manager.events), tuple(controller.trace),
+            tuple(sorted(workload.stats.outcomes().items())))
+
+
+class TestReconfigDeterminism:
+    def test_identical_seeds_replay_identically(self):
+        first = run_once(seed=7)
+        second = run_once(seed=7)
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        """Sanity check that the equality above is not vacuous."""
+        assert run_once(seed=7)[0] != run_once(seed=19)[0]

@@ -1,0 +1,33 @@
+"""Per-shard redundancy gauges must track the placement as it moves."""
+
+from tests.reconfig.conftest import build_reconfig, gauge
+
+
+class TestGaugesFollowMigration:
+    def test_migrated_shard_zeroes_the_source_gauge(self):
+        cluster, topology, manager = build_reconfig(seed=23)
+        keyspace = topology.account_server(1)
+        assert cluster.placement.replicas(keyspace) == ("bank1", "bank0")
+        assert gauge(cluster, "bank0",
+                     f"replication.available_copies[{keyspace}]") == 2
+
+        manager.join("bank2")
+        assert manager.run_migration(keyspace, "bank0", "bank2") is True
+
+        # The shard moved away: bank0 must stop reporting a copy count
+        # for it, while the new holder reports the full redundancy.
+        assert gauge(cluster, "bank0",
+                     f"replication.available_copies[{keyspace}]") == 0
+        assert gauge(cluster, "bank2",
+                     f"replication.available_copies[{keyspace}]") == 2
+        assert gauge(cluster, "bank1",
+                     f"replication.available_copies[{keyspace}]") == 2
+
+    def test_epoch_gauge_tracks_installs(self):
+        cluster, topology, manager = build_reconfig(seed=29)
+        keyspace = topology.account_server(1)
+        manager.join("bank2")
+        manager.run_migration(keyspace, "bank0", "bank2")
+        # extend + shrink = two installs
+        assert gauge(cluster, "bank2", "reconfig.placement_epoch") == 2
+        assert gauge(cluster, "bank0", "reconfig.placement_epoch") == 2

@@ -1,0 +1,70 @@
+"""Live membership: nodes join a running cluster and retire from it."""
+
+import pytest
+
+from tests.reconfig.conftest import build_reconfig, commit_one, counter
+
+from repro.errors import TabsError
+
+
+class TestJoin:
+    def test_joined_node_is_live_and_discoverable(self):
+        cluster, topology, manager = build_reconfig(seed=31)
+        tabs_node = manager.join("bank2")
+        assert tabs_node.node.alive
+        assert "bank2" in cluster.nodes
+        assert counter(cluster, "bank0", "reconfig.nodes_joined") == 1
+        # hosts nothing until a shard is migrated to it
+        assert cluster.placement.keyspaces_on("bank2") == []
+
+    def test_joined_node_accepts_a_migration(self):
+        cluster, topology, manager = build_reconfig(seed=37)
+        manager.join("bank2")
+        keyspace = topology.account_server(0)
+        assert manager.run_migration(keyspace, "bank0", "bank2") is True
+        assert "bank2" in cluster.placement.replicas(keyspace)
+
+
+class TestRetire:
+    def test_retire_drains_every_shard_and_powers_off(self):
+        cluster, topology, manager = build_reconfig(seed=41)
+        manager.join("bank2")
+        hosted = cluster.placement.keyspaces_on("bank1")
+        assert hosted  # rf=2 over two nodes: bank1 holds a copy of all
+        manager.retire("bank1")
+        assert cluster.placement.keyspaces_on("bank1") == []
+        assert cluster.node("bank1").retired is True
+        assert not cluster.node("bank1").node.alive
+        assert counter(cluster, "bank0", "reconfig.nodes_retired") == 1
+        assert counter(cluster, "bank0",
+                       "reconfig.migrations_committed") == len(hosted)
+        # the survivors keep committing DebitCredit traffic
+        assert commit_one(cluster, topology, "bank0")
+
+    def test_retiring_the_originator_is_refused(self):
+        cluster, topology, manager = build_reconfig(seed=43)
+        with pytest.raises(TabsError):
+            manager.retire("bank0")
+
+    def test_retire_without_a_destination_leaves_the_node_in_service(self):
+        """Two nodes, rf=2: there is nowhere to drain bank1 to."""
+        cluster, topology, manager = build_reconfig(seed=47)
+        with pytest.raises(TabsError):
+            manager.retire("bank1")
+        assert cluster.node("bank1").retired is False
+        assert cluster.node("bank1").node.alive
+
+    def test_retired_node_cannot_be_retired_again(self):
+        cluster, topology, manager = build_reconfig(seed=53)
+        manager.join("bank2")
+        manager.retire("bank1")
+        with pytest.raises(TabsError):
+            manager.retire("bank1")
+
+    def test_migrating_to_a_retired_node_is_refused(self):
+        cluster, topology, manager = build_reconfig(seed=59)
+        manager.join("bank2")
+        manager.retire("bank1")
+        keyspace = topology.account_server(0)
+        with pytest.raises(TabsError):
+            manager.run_migration(keyspace, "bank0", "bank1")

@@ -1,0 +1,44 @@
+"""PlacementMap edge cases the reconfiguration builders lean on."""
+
+import pytest
+
+from repro.errors import TabsError
+from repro.replication import PlacementMap
+
+
+class TestPlacementMapEdges:
+    def test_empty_map_rejected(self):
+        with pytest.raises(TabsError):
+            PlacementMap({})
+
+    def test_assignments_copy_is_isolated(self):
+        """Successor epochs mutate ``assignments()``; the copy must not
+        leak back into the immutable original."""
+        placement = PlacementMap({"a": ("n0", "n1")})
+        assignments = placement.assignments()
+        assignments["a"] = ("n2",)
+        assert placement.replicas("a") == ("n0", "n1")
+
+    def test_nodes_is_the_sorted_union(self):
+        placement = PlacementMap({"a": ("n2", "n0"), "b": ("n1", "n2")})
+        assert placement.nodes() == ["n0", "n1", "n2"]
+
+    def test_keyspaces_on_unknown_node_is_empty(self):
+        placement = PlacementMap({"a": ("n0",)})
+        assert placement.keyspaces_on("n9") == []
+
+    def test_replica_tuple_order_is_preserved(self):
+        placement = PlacementMap({"a": ["n2", "n0", "n1"]})
+        assert placement.replicas("a") == ("n2", "n0", "n1")
+
+
+class TestRingEdges:
+    def test_anchor_index_wraps_around_the_ring(self):
+        placement = PlacementMap.ring(["a"], ["n0", "n1", "n2"], 2,
+                                      anchors={"a": 7})
+        assert placement.replicas("a") == ("n1", "n2")
+
+    def test_single_node_ring_clamps_to_one_copy(self):
+        placement = PlacementMap.ring(["a", "b"], ["n0"], 3)
+        assert placement.replicas("a") == ("n0",)
+        assert placement.replicas("b") == ("n0",)
