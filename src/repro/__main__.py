@@ -210,6 +210,42 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    import json
+
+    from repro.perf.runner import (
+        chaos_soak_cells,
+        debitcredit_sweep_cells,
+        run_cells,
+        sweep_payload,
+        throughput_sweep_cells,
+    )
+
+    counts = [int(part) for part in args.counts.split(",") if part]
+    seeds = [int(part) for part in args.seeds.split(",") if part]
+    if args.sweep == "throughput":
+        cells = [cell for seed in seeds
+                 for cell in throughput_sweep_cells(
+                     counts, workload=args.workload,
+                     duration_ms=args.duration_ms, seed=seed)]
+    elif args.sweep == "debitcredit":
+        cells = [cell for seed in seeds
+                 for cell in debitcredit_sweep_cells(
+                     counts, duration_ms=args.duration_ms, seed=seed)]
+    else:
+        cells = chaos_soak_cells(seeds)
+    results = run_cells(cells, workers=args.workers)
+    payload = sweep_payload(cells, results, workers=args.workers)
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        write_report(f"wrote {len(cells)} cells to {args.json}")
+    else:
+        write_report(text)
+    return 0
+
+
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "target",
@@ -257,6 +293,27 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument("--pstats", help="write a pstats-compatible "
                                           "dump here")
     profile.set_defaults(run=cmd_profile)
+    sweep = sub.add_parser(
+        "sweep", help="fan a (config, seed) experiment sweep across "
+                      "worker processes (deterministic aggregation)")
+    sweep.add_argument("sweep",
+                       choices=["throughput", "debitcredit", "chaos"],
+                       help="which experiment family to sweep")
+    sweep.add_argument("--counts", default="1,2,4,8",
+                       help="comma-separated client/concurrency counts")
+    sweep.add_argument("--seeds", default="1985",
+                       help="comma-separated seeds (chaos: one cell per "
+                            "seed)")
+    sweep.add_argument("--duration-ms", type=float, default=10_000.0)
+    sweep.add_argument("--workload", default="disjoint",
+                       choices=["disjoint", "shared"],
+                       help="throughput sweep workload")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (results are identical "
+                            "for any value)")
+    sweep.add_argument("--json", help="write the JSON document here "
+                                      "instead of printing it")
+    sweep.set_defaults(run=cmd_sweep)
     args = parser.parse_args(argv)
     return args.run(args)
 

@@ -81,6 +81,10 @@ class Network:
         #: observe the same run without clobbering each other.
         self.trace_hooks: list[Callable[[float, str, str, str, str], None]] \
             = []
+        #: per-(node, event) Counter objects, resolved once -- the metrics
+        #: registry returns stable objects, so caching skips a dict lookup
+        #: plus an f-string per datagram on the hot path
+        self._net_counters: dict[tuple[str, str], object] = {}
         #: session identifiers, scoped to this network so two cluster runs
         #: in one process produce identical ids (trace reproducibility)
         self._session_seq = 0
@@ -244,7 +248,12 @@ class Network:
         node = target if event in ("recv", "undeliverable") else \
             (source or target)
         if node:
-            self.ctx.metrics.counter(node, f"net.{event}").inc()
+            key = (node, event)
+            counter = self._net_counters.get(key)
+            if counter is None:
+                counter = self._net_counters[key] = \
+                    self.ctx.metrics.counter(node, "net." + event)
+            counter.inc()
         for hook in self.trace_hooks:
             hook(self.ctx.now, event, source, target, op)
 
@@ -277,8 +286,8 @@ class Network:
             # fault plan) and cannot be randomly lost -- only partitions
             # and crashed endpoints silence it, which are exactly the
             # failures detection must catch.
-            self.ctx.engine.schedule(latency_ms, self._arrival(
-                target, message, source), daemon=True)
+            self.ctx.engine.schedule(latency_ms, self._arrive, daemon=True,
+                                     args=(target, message, source))
             return
         if (self.datagram_loss_rate and
                 self.ctx.random.random() < self.datagram_loss_rate):
@@ -303,22 +312,21 @@ class Network:
                 self.datagrams_reordered += 1
                 self._trace("reorder", source, target, message.op)
 
-        arrive = self._arrival(target, message, source)
+        args = (target, message, source)
         for copy in range(copies):
             # A duplicate trails the original slightly, as a retransmitted
             # or doubly-routed packet would.
-            self.ctx.engine.schedule(latency_ms * (1 + copy), arrive)
+            self.ctx.engine.schedule(latency_ms * (1 + copy), self._arrive,
+                                     args=args)
 
-    def _arrival(self, target: str, message: Message,
-                 source: str) -> Callable[[], None]:
-        def arrive() -> None:
-            if not self.is_up(target):
-                self.datagrams_undeliverable += 1
-                self._trace("undeliverable", source, target, message.op)
-                return
-            self._trace("recv", source, target, message.op)
-            self._managers[target].deliver_inbound_datagram(message)
-        return arrive
+    def _arrive(self, target: str, message: Message, source: str) -> None:
+        """Datagram arrival: bound-method dispatch, no per-send closure."""
+        if not self.is_up(target):
+            self.datagrams_undeliverable += 1
+            self._trace("undeliverable", source, target, message.op)
+            return
+        self._trace("recv", source, target, message.op)
+        self._managers[target].deliver_inbound_datagram(message)
 
     def broadcast_datagram(self, source: str, message_factory:
                            Callable[[str], Message],

@@ -16,7 +16,7 @@ from repro.core.config import TabsConfig
 from repro.core.facility import TabsNode
 from repro.errors import TabsError
 from repro.kernel.context import SimContext
-from repro.sim import Process
+from repro.sim import Engine, Process
 
 
 def bring_up_server(server):
@@ -32,7 +32,8 @@ class TabsCluster:
 
     def __init__(self, config: TabsConfig | None = None) -> None:
         self.config = config or TabsConfig()
-        self.ctx = SimContext(profile=self.config.profile,
+        self.ctx = SimContext(engine=Engine(self.config.engine),
+                              profile=self.config.profile,
                               cpu_costs=self.config.cpu_costs,
                               seed=self.config.seed)
         self.ctx.merged_architecture = self.config.merged_architecture

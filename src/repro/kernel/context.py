@@ -49,6 +49,9 @@ class SimContext:
         #: every LockManager built against this context registers here so
         #: the profiler can snapshot cluster-wide wait-for graphs
         self.lock_managers: list = []
+        #: cached ``cpu:<component>`` timeout labels (one small string per
+        #: distinct component instead of an f-string per charge)
+        self._cpu_labels: dict[str, str] = {}
         #: Section 5.3's "Improved TABS Architecture": the Recovery Manager
         #: and Transaction Manager are merged with the Accent kernel, which
         #: eliminates message passing among those three components and lets
@@ -81,4 +84,7 @@ class SimContext:
     def cpu(self, component: str, time_ms: float) -> Timeout:
         """CPU work by a named component: records and returns its latency."""
         self.meter.record_cpu(component, time_ms)
-        return Timeout(self.engine, time_ms, name=f"cpu:{component}")
+        label = self._cpu_labels.get(component)
+        if label is None:
+            label = self._cpu_labels[component] = f"cpu:{component}"
+        return Timeout(self.engine, time_ms, name=label)

@@ -34,6 +34,10 @@ _message_ids = itertools.count(1)
 class MessageKind(enum.Enum):
     """The local message classes of the cost model."""
 
+    #: identity hash (C fast path) -- members key the kind->primitive dict
+    #: on every charged send; see :class:`repro.kernel.costs.Primitive`
+    __hash__ = object.__hash__
+
     SMALL = "small"
     LARGE = "large"
     POINTER = "pointer"
@@ -60,7 +64,7 @@ def classify_size(size_bytes: int) -> MessageKind:
     return MessageKind.LARGE
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message in flight between simulated processes."""
 

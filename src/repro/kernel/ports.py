@@ -38,6 +38,8 @@ class Port:
         self.node = node
         self.port_id = next(_port_ids)
         self.name = name or f"port-{self.port_id}"
+        #: receive-event label, computed once -- receive() is hot
+        self._recv_name = "recv:" + self.name
         self.dead = False
         self._queue: collections.deque[Message] = collections.deque()
         self._waiters: collections.deque[Event] = collections.deque()
@@ -73,7 +75,7 @@ class Port:
             primitive = message.kind.primitive
             if primitive is not None:
                 delay = self.ctx.delay_of(primitive)
-        self.ctx.engine.schedule(delay, lambda: self._deliver(message))
+        self.ctx.engine.schedule(delay, self._deliver, args=(message,))
 
     def _deliver(self, message: Message) -> None:
         if not self.alive:
@@ -90,7 +92,7 @@ class Port:
         """An event yielding the next message (FIFO among waiters)."""
         if not self.alive:
             raise InvalidPort(f"receive on dead port {self.name!r}")
-        event = Event(self.ctx.engine, name=f"recv:{self.name}")
+        event = Event(self.ctx.engine, name=self._recv_name)
         if self._queue:
             event.succeed(self._queue.popleft())
         else:

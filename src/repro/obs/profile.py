@@ -111,16 +111,16 @@ class SimProfiler:
 
     # -- the engine hook ---------------------------------------------------------
 
-    def run_step(self, callback: Callable[[], None], daemon: bool,
-                 now: float) -> None:
-        """Execute ``callback`` under the wall clock (called by
+    def run_step(self, callback: Callable[..., None], daemon: bool,
+                 now: float, args: tuple = ()) -> None:
+        """Execute ``callback(*args)`` under the wall clock (called by
         ``Engine.step``; exceptions propagate unchanged)."""
         start = self._clock()
         if self._wall_first is None:
             self._wall_first = start
             self._sim_first = now
         try:
-            callback()
+            callback(*args)
         finally:
             end = self._clock()
             self._wall_last = end

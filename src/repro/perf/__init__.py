@@ -14,7 +14,9 @@ time.  This package regenerates all five tables:
   with the paper's published counts carried alongside for comparison,
 - :mod:`repro.perf.projections` -- the Improved-Architecture and
   New-Primitive-Times projections of Table 5-4,
-- :mod:`repro.perf.report` -- text tables for the benchmark harness.
+- :mod:`repro.perf.report` -- text tables for the benchmark harness,
+- :mod:`repro.perf.runner` -- the parallel ``(config, seed)`` experiment
+  runner behind the sweeps and the ``sweep`` CLI subcommand.
 """
 
 from repro.perf.benchmarks import (
@@ -25,8 +27,9 @@ from repro.perf.benchmarks import (
 )
 from repro.perf.model import predicted_time
 from repro.perf.projections import run_table_5_4
+from repro.perf.runner import Cell, run_cells
 
 __all__ = [
     "BENCHMARKS", "BenchmarkSpec", "BenchmarkResult", "run_benchmark",
-    "predicted_time", "run_table_5_4",
+    "predicted_time", "run_table_5_4", "Cell", "run_cells",
 ]

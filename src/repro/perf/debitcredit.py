@@ -149,22 +149,40 @@ def run_debitcredit(clients: int, duration_ms: float = 30_000.0,
 def debitcredit_sweep(client_counts: list[int],
                       duration_ms: float = 30_000.0,
                       config: TabsConfig | None = None,
-                      ) -> list[DebitCreditResult]:
-    return [run_debitcredit(clients, duration_ms, config=config)
-            for clients in client_counts]
+                      workers: int = 1) -> list[DebitCreditResult]:
+    """One result per client count, fanned over ``workers`` processes.
+
+    Delegates to :mod:`repro.perf.runner`; results come back in client-
+    count order whatever the worker count.
+    """
+    from repro.perf.runner import debitcredit_sweep_cells, run_cells
+
+    return run_cells(debitcredit_sweep_cells(client_counts, duration_ms,
+                                             config=config),
+                     workers=workers)
 
 
 def compare_debitcredit_pipelines(client_counts: list[int],
                                   duration_ms: float = 15_000.0,
                                   workload: WorkloadConfig | None = None,
+                                  workers: int = 1,
                                   ) -> dict[str, list[DebitCreditResult]]:
     """The hot-row study: both commit pipelines, same serial log device.
 
     Reuses :data:`~repro.perf.throughput.PIPELINE_CONFIGS` so the
     DebitCredit comparison and the synthetic one measure the exact same
-    two pipeline configurations.
+    two pipeline configurations.  Both pipelines' cells ride one flat
+    fan-out across ``workers`` processes; the per-pipeline split is
+    recovered from cell order, so the dict is identical for any count.
     """
-    return {name: [run_debitcredit(clients, duration_ms, commit=commit,
-                                   workload=workload)
-                   for clients in client_counts]
-            for name, commit in PIPELINE_CONFIGS.items()}
+    from repro.perf.runner import debitcredit_sweep_cells, run_cells
+
+    names = list(PIPELINE_CONFIGS)
+    cells = [cell for name in names
+             for cell in debitcredit_sweep_cells(
+                 client_counts, duration_ms,
+                 commit=PIPELINE_CONFIGS[name], workload=workload)]
+    results = run_cells(cells, workers=workers)
+    step = len(client_counts)
+    return {name: results[i * step:(i + 1) * step]
+            for i, name in enumerate(names)}

@@ -130,9 +130,18 @@ def run_throughput(concurrency: int, workload: str = "disjoint",
 
 
 def throughput_sweep(concurrencies: list[int], workload: str,
-                     duration_ms: float = 60_000.0) -> list[ThroughputResult]:
-    return [run_throughput(concurrency, workload, duration_ms)
-            for concurrency in concurrencies]
+                     duration_ms: float = 60_000.0,
+                     workers: int = 1) -> list[ThroughputResult]:
+    """One result per concurrency, fanned over ``workers`` processes.
+
+    Delegates to :mod:`repro.perf.runner`; results come back in
+    concurrency order whatever the worker count.
+    """
+    from repro.perf.runner import run_cells, throughput_sweep_cells
+
+    return run_cells(throughput_sweep_cells(concurrencies, workload,
+                                            duration_ms),
+                     workers=workers)
 
 
 #: the two pipeline configurations compared by :func:`compare_pipelines`;
@@ -146,9 +155,22 @@ PIPELINE_CONFIGS: dict[str, CommitConfig] = {
 def compare_pipelines(concurrencies: list[int],
                       workload: str = "disjoint",
                       duration_ms: float = 30_000.0,
+                      workers: int = 1,
                       ) -> dict[str, list[ThroughputResult]]:
-    """The group-commit study: both pipelines, same serial log device."""
-    return {name: [run_throughput(concurrency, workload, duration_ms,
-                                  commit=commit)
-                   for concurrency in concurrencies]
-            for name, commit in PIPELINE_CONFIGS.items()}
+    """The group-commit study: both pipelines, same serial log device.
+
+    Both pipelines' cells go into one flat fan-out (a single pool ride),
+    then are split back per pipeline -- the result is identical to the
+    sequential nested loops for any ``workers``.
+    """
+    from repro.perf.runner import run_cells, throughput_sweep_cells
+
+    names = list(PIPELINE_CONFIGS)
+    cells = [cell for name in names
+             for cell in throughput_sweep_cells(
+                 concurrencies, workload, duration_ms,
+                 commit=PIPELINE_CONFIGS[name])]
+    results = run_cells(cells, workers=workers)
+    step = len(concurrencies)
+    return {name: results[i * step:(i + 1) * step]
+            for i, name in enumerate(names)}

@@ -150,9 +150,13 @@ class DataServerLibrary:
         while True:
             message = yield self.port.receive()
             # Each request is a separate coroutine invocation; switches
-            # happen only when the operation waits.
-            self.node.spawn(self._serve(message),
-                            name=f"{self.server_id}:{message.op}",
+            # happen only when the operation waits.  The _serve wrapper
+            # exists only to open/close a trace span, and every
+            # ``yield from`` layer costs a frame per suspend/resume, so
+            # the untraced path spawns the body directly.
+            body = (self._serve(message) if self.ctx.tracer is not None
+                    else self._serve_traced(message))
+            self.node.spawn(body, name=f"{self.server_id}:{message.op}",
                             defused=True)
 
     def _serve(self, message: Message):

@@ -46,6 +46,8 @@ class BaseDataServer:
             lock_timeout_ms=tabs_node.config.lock_timeout_ms)
         self.names = NameServerLibrary(self.node)
         self.base_va = 0
+        #: op name -> bound ``op_<name>`` handler, filled on first use
+        self._op_cache: dict[str, Callable] = {}
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -74,9 +76,12 @@ class BaseDataServer:
         self.library.accept_requests(self.dispatch)
 
     def dispatch(self, op: str, body: dict, tid: TransactionID | None):
-        handler = getattr(self, "op_" + op, None)
+        handler = self._op_cache.get(op)
         if handler is None:
-            raise ServerError(f"{self.name}: unknown operation {op!r}")
+            handler = getattr(self, "op_" + op, None)
+            if handler is None:
+                raise ServerError(f"{self.name}: unknown operation {op!r}")
+            self._op_cache[op] = handler
         result = yield from handler(body, tid)
         return result
 

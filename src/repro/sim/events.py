@@ -6,10 +6,16 @@ An :class:`Event` moves through three states:
 -> ``processed`` (callbacks have run).
 
 Processes wait on events by yielding them; see :mod:`repro.sim.process`.
+
+These are the hottest allocations in the simulator, so the classes are
+slotted, the observer list is allocated lazily (most events are waited on
+by at most one observer, many by none), and default names are computed
+lazily (the f-string only materialises when a profiler or repr asks).
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -21,15 +27,25 @@ _PENDING = object()
 class Event:
     """A one-shot occurrence that callbacks (and processes) can wait on."""
 
+    __slots__ = ("engine", "_name", "_value", "_ok", "_callbacks",
+                 "_processed")
+
     def __init__(self, engine: Engine, name: str = "") -> None:
         self.engine = engine
-        self.name = name
+        self._name = name
         self._value: object = _PENDING
         self._ok: bool | None = None
-        self._callbacks: list[Callable[[Event], None]] | None = []
+        #: observer list, allocated on first add_callback; None while the
+        #: event has no observers *and* after the callbacks have run
+        #: (``_processed`` tells the two apart)
+        self._callbacks: list[Callable[[Event], None]] | None = None
         self._processed = False
 
     # -- state ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
 
     @property
     def triggered(self) -> bool:
@@ -60,8 +76,16 @@ class Event:
     # -- triggering -------------------------------------------------------
 
     def succeed(self, value: object = None) -> "Event":
-        """Trigger the event successfully with ``value``."""
-        self._trigger(True, value)
+        """Trigger the event successfully with ``value``.
+
+        Inlines :meth:`_trigger`: every completed wait in the simulation
+        funnels through here.
+        """
+        if self._ok is not None:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._ok = True
+        self._value = value
+        self.engine.schedule_now(self._run_callbacks)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -79,11 +103,12 @@ class Event:
         self.engine.schedule_now(self._run_callbacks)
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
+        callbacks = self._callbacks
+        self._callbacks = None
         self._processed = True
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        if callbacks is not None:
+            for callback in callbacks:
+                callback(self)
 
     # -- observers --------------------------------------------------------
 
@@ -93,15 +118,20 @@ class Event:
         If the event has already been processed the callback is scheduled to
         run at the current instant, preserving run-to-completion semantics.
         """
-        if self._callbacks is None:
-            self.engine.schedule_now(lambda: callback(self))
+        if self._processed:
+            self.engine.schedule_now(callback, args=(self,))
         else:
-            self._callbacks.append(callback)
+            callbacks = self._callbacks
+            if callbacks is None:
+                self._callbacks = [callback]
+            else:
+                callbacks.append(callback)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         """Stop observing; no-op if the callbacks already ran."""
-        if self._callbacks is not None and callback in self._callbacks:
-            self._callbacks.remove(callback)
+        callbacks = self._callbacks
+        if callbacks is not None and callback in callbacks:
+            callbacks.remove(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "processed" if self._processed else (
@@ -113,15 +143,29 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after a fixed simulated delay."""
 
+    __slots__ = ("delay", "_timeout_value")
+
     def __init__(self, engine: Engine, delay: float, value: object = None,
                  name: str = "") -> None:
-        super().__init__(engine, name or f"timeout({delay})")
+        super().__init__(engine, name)
         self.delay = delay
-        engine.schedule(delay, lambda: self.succeed(value))
+        self._timeout_value = value
+        engine.schedule(delay, self._fire)
+
+    @property
+    def name(self) -> str:
+        # The default label is derived lazily: the unprofiled hot path
+        # never pays for the f-string.
+        return self._name or f"timeout({self.delay})"
+
+    def _fire(self) -> None:
+        self.succeed(self._timeout_value)
 
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, engine: Engine, events: list[Event], name: str) -> None:
         super().__init__(engine, name)
@@ -130,10 +174,13 @@ class _Condition(Event):
         if not self._events:
             self.succeed([])
             return
-        for event in self._events:
-            event.add_callback(self._on_child)
+        # Each child's position is fixed at registration: looking the event
+        # up later (list.index) would report the *first* slot when the same
+        # Event object appears twice in the list.
+        for index, event in enumerate(self._events):
+            event.add_callback(partial(self._on_child, index))
 
-    def _on_child(self, event: Event) -> None:
+    def _on_child(self, index: int, event: Event) -> None:
         raise NotImplementedError
 
     def _values(self) -> list[object]:
@@ -147,14 +194,16 @@ class AnyOf(_Condition):
     that event failed, this condition fails with the same exception.
     """
 
+    __slots__ = ()
+
     def __init__(self, engine: Engine, events: list[Event]) -> None:
         super().__init__(engine, events, "any_of")
 
-    def _on_child(self, event: Event) -> None:
+    def _on_child(self, index: int, event: Event) -> None:
         if self.triggered:
             return
         if event.ok:
-            self.succeed((self._events.index(event), event._value))
+            self.succeed((index, event._value))
         else:
             assert isinstance(event._value, BaseException)
             self.fail(event._value)
@@ -167,10 +216,12 @@ class AllOf(_Condition):
     child failure fails the condition immediately.
     """
 
+    __slots__ = ()
+
     def __init__(self, engine: Engine, events: list[Event]) -> None:
         super().__init__(engine, events, "all_of")
 
-    def _on_child(self, event: Event) -> None:
+    def _on_child(self, index: int, event: Event) -> None:
         if self.triggered:
             return
         if not event.ok:

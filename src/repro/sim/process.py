@@ -27,6 +27,8 @@ from repro.sim.events import Event
 class Process(Event):
     """A lightweight simulated process driving a generator."""
 
+    __slots__ = ("_gen", "_alive", "_waiting_on", "defused")
+
     def __init__(self, engine: Engine, generator: Generator,
                  name: str = "") -> None:
         super().__init__(engine, name or getattr(generator, "__name__", "process"))
@@ -37,11 +39,10 @@ class Process(Event):
         self._gen = generator
         self._alive = True
         self._waiting_on: Event | None = None
-        self._wait_token = 0
         #: Set True to suppress the unhandled-failure crash (e.g. for
         #: processes whose failure is expected and observed elsewhere).
         self.defused = False
-        engine.schedule_now(lambda: self._advance("send", None))
+        engine.schedule_now(self._advance, args=("send", None))
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -55,8 +56,8 @@ class Process(Event):
         if not self._alive:
             return
         self._detach_wait()
-        self.engine.schedule_now(
-            lambda: self._advance("throw", Interrupt(cause)))
+        self.engine.schedule_now(self._advance,
+                                 args=("throw", Interrupt(cause)))
 
     def kill(self, reason: str = "killed") -> None:
         """Destroy the process without resuming it (node crash semantics)."""
@@ -72,11 +73,10 @@ class Process(Event):
     # -- internals ----------------------------------------------------------
 
     def _detach_wait(self) -> None:
-        self._wait_token += 1
-        if self._waiting_on is not None:
-            # Callbacks hold the token, so a stale wake-up is ignored even if
-            # the event already scheduled its callbacks.
-            self._waiting_on = None
+        # Wake-ups compare the firing event against ``_waiting_on`` by
+        # identity, so clearing it makes any in-flight wake-up stale even
+        # if the event already scheduled its callbacks.
+        self._waiting_on = None
 
     def _advance(self, mode: str, value: object) -> None:
         if not self._alive:
@@ -103,14 +103,12 @@ class Process(Event):
                 "Event"))
             return
         self._waiting_on = target
-        self._wait_token += 1
-        token = self._wait_token
-        target.add_callback(lambda event: self._on_event(event, token))
+        target.add_callback(self._on_event)
 
-    def _on_event(self, event: Event, token: int) -> None:
-        if not self._alive or token != self._wait_token:
+    def _on_event(self, event: Event) -> None:
+        if not self._alive or event is not self._waiting_on:
             return  # stale wake-up: we were interrupted or killed meanwhile
-        if event.ok:
+        if event._ok:
             self._advance("send", event._value)
         else:
             assert isinstance(event._value, BaseException)

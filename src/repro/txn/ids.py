@@ -23,6 +23,17 @@ class TransactionID:
     node: str
     seq: int
     path: tuple[int, ...] = ()
+    #: identifiers key the hottest dicts in the system (lock tables, TM
+    #: state, CC maps), so the field-tuple hash is computed once instead
+    #: of per lookup.  Excluded from compare/repr: it is derived state.
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash",
+                           hash((self.node, self.seq, self.path)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_toplevel(self) -> bool:

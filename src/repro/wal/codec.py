@@ -60,42 +60,76 @@ _T_TID, _T_OID = 10, 11
 # -- value encoding ---------------------------------------------------------------
 
 
-def _encode_value(value) -> bytes:
+def _encode_into(out: bytearray, value) -> None:
+    """Append ``value``'s encoding to ``out``.
+
+    Accumulator style: the WAL media path encodes every durable record,
+    so the encoder appends into one growing buffer instead of allocating
+    an intermediate ``bytes`` per nested value and joining them.
+    """
     if value is None:
-        return bytes([_T_NONE])
+        out.append(_T_NONE)
+        return
     if value is False:
-        return bytes([_T_FALSE])
+        out.append(_T_FALSE)
+        return
     if value is True:
-        return bytes([_T_TRUE])
+        out.append(_T_TRUE)
+        return
     if isinstance(value, int):
         length = max(1, (value.bit_length() + 8) // 8)  # room for the sign
-        return (bytes([_T_INT, length])
-                + value.to_bytes(length, "big", signed=True))
+        out.append(_T_INT)
+        out.append(length)
+        out += value.to_bytes(length, "big", signed=True)
+        return
     if isinstance(value, float):
-        return bytes([_T_FLOAT]) + struct.pack(">d", value)
+        out.append(_T_FLOAT)
+        out += struct.pack(">d", value)
+        return
     if isinstance(value, str):
         data = value.encode()
-        return bytes([_T_STR]) + struct.pack(">I", len(data)) + data
+        out.append(_T_STR)
+        out += struct.pack(">I", len(data))
+        out += data
+        return
     if isinstance(value, bytes):
-        return bytes([_T_BYTES]) + struct.pack(">I", len(value)) + value
+        out.append(_T_BYTES)
+        out += struct.pack(">I", len(value))
+        out += value
+        return
     if isinstance(value, TransactionID):
-        return (bytes([_T_TID]) + _encode_value(value.node)
-                + _encode_value(value.seq) + _encode_value(list(value.path)))
+        out.append(_T_TID)
+        _encode_into(out, value.node)
+        _encode_into(out, value.seq)
+        _encode_into(out, list(value.path))
+        return
     if isinstance(value, ObjectID):
-        return (bytes([_T_OID]) + _encode_value(value.segment_id)
-                + _encode_value(value.offset) + _encode_value(value.length))
+        out.append(_T_OID)
+        _encode_into(out, value.segment_id)
+        _encode_into(out, value.offset)
+        _encode_into(out, value.length)
+        return
     if isinstance(value, (list, tuple)):
-        tag = _T_LIST if isinstance(value, list) else _T_TUPLE
-        parts = [bytes([tag]), struct.pack(">I", len(value))]
-        parts.extend(_encode_value(item) for item in value)
-        return b"".join(parts)
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        out += struct.pack(">I", len(value))
+        for item in value:
+            _encode_into(out, item)
+        return
     if isinstance(value, dict):
-        parts = [bytes([_T_DICT]), struct.pack(">I", len(value))]
+        out.append(_T_DICT)
+        out += struct.pack(">I", len(value))
         for key, item in value.items():
-            parts.append(_encode_value(key))
-            parts.append(_encode_value(item))
-        return b"".join(parts)
+            _encode_into(out, key)
+            _encode_into(out, item)
+        return
     raise WalCodecError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _encode_value(value) -> bytes:
+    """One value's encoding as standalone bytes (non-WAL callers)."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
 
 
 class _Reader:
@@ -193,14 +227,15 @@ def encode_record(record: LogRecord) -> bytes:
     except KeyError:
         raise WalCodecError(
             f"cannot encode record kind {record.kind!r}") from None
-    parts = [_encode_value(record.tid), _encode_value(record.lsn),
-             _encode_value(record.prev_lsn)]
+    body = bytearray()
+    _encode_into(body, record.tid)
+    _encode_into(body, record.lsn)
+    _encode_into(body, record.prev_lsn)
     if record.kind is RecordKind.TXN_STATUS:
-        parts.append(_encode_value(record.status.value))
+        _encode_into(body, record.status.value)
     for name in _FIELDS[record.kind][1]:
-        parts.append(_encode_value(getattr(record, name)))
-    body = b"".join(parts)
-    return struct.pack(">I", len(body) + 1) + bytes([tag]) + body
+        _encode_into(body, getattr(record, name))
+    return struct.pack(">I", len(body) + 1) + bytes([tag]) + bytes(body)
 
 
 def decode_record(data: bytes) -> LogRecord:

@@ -63,6 +63,10 @@ class WriteAheadLog:
         self.serial_log_device: bool = bool(
             getattr(commit, "serial_log_device", False))
         self._device_free_at: float = 0.0
+        # Force-path metrics, resolved once (the registry get-or-create
+        # lookup is per-force otherwise; the objects are stable).
+        self._forces_counter = None
+        self._force_ms_histogram = None
 
     def device_busy_for(self) -> float:
         """Milliseconds until the serial log device frees (0 when idle).
@@ -164,9 +168,13 @@ class WriteAheadLog:
             self.store.append(to_flush)
             self._buffer = [r for r in self._buffer if r.lsn > target]
             self.forces += 1
-        self.ctx.metrics.counter(self.node_name, "wal.forces").inc()
-        self.ctx.metrics.histogram(self.node_name, "wal.force_ms").observe(
-            self.ctx.now - started)
+        if self._forces_counter is None:
+            self._forces_counter = self.ctx.metrics.counter(
+                self.node_name, "wal.forces")
+            self._force_ms_histogram = self.ctx.metrics.histogram(
+                self.node_name, "wal.force_ms")
+        self._forces_counter.inc()
+        self._force_ms_histogram.observe(self.ctx.now - started)
         if span_id and self.ctx.tracer is not None:
             self.ctx.tracer.end(span_id, flushed=len(to_flush))
 
